@@ -1,0 +1,210 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation section (run the full-scale versions with cmd/benchtables),
+// plus micro-benchmarks for the framework's hot paths.
+//
+//	go test -bench=. -benchmem
+package kgeval
+
+import (
+	"io"
+	"testing"
+
+	"kgeval/internal/core"
+	"kgeval/internal/eval"
+	"kgeval/internal/experiments"
+	"kgeval/internal/kg"
+	"kgeval/internal/kgc"
+	"kgeval/internal/kp"
+	"kgeval/internal/recommender"
+	"kgeval/internal/synth"
+)
+
+// benchExperiment runs a paper artifact end to end at quick scale.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(experiments.ScaleQuick, io.Discard)
+		if err := r.Run(id); err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B)  { benchExperiment(b, "table2") }
+func BenchmarkTable3(b *testing.B)  { benchExperiment(b, "table3") }
+func BenchmarkTable4(b *testing.B)  { benchExperiment(b, "table4") }
+func BenchmarkTable5(b *testing.B)  { benchExperiment(b, "table5") }
+func BenchmarkTable6(b *testing.B)  { benchExperiment(b, "table6") }
+func BenchmarkTable7(b *testing.B)  { benchExperiment(b, "table7") }
+func BenchmarkTable8(b *testing.B)  { benchExperiment(b, "table8") }
+func BenchmarkTable9(b *testing.B)  { benchExperiment(b, "table9") }
+func BenchmarkTable12(b *testing.B) { benchExperiment(b, "table12") }
+func BenchmarkTable13(b *testing.B) { benchExperiment(b, "table13") }
+func BenchmarkTable14(b *testing.B) { benchExperiment(b, "table14") }
+func BenchmarkTable15(b *testing.B) { benchExperiment(b, "table15") }
+func BenchmarkFig3a(b *testing.B)   { benchExperiment(b, "fig3a") }
+func BenchmarkFig3b(b *testing.B)   { benchExperiment(b, "fig3b") }
+func BenchmarkFig3c(b *testing.B)   { benchExperiment(b, "fig3c") }
+func BenchmarkFig4(b *testing.B)    { benchExperiment(b, "fig4") }
+func BenchmarkFig6(b *testing.B)    { benchExperiment(b, "fig6") }
+func BenchmarkThm1(b *testing.B)    { benchExperiment(b, "thm1") }
+func BenchmarkExt1(b *testing.B)    { benchExperiment(b, "ext1") }
+func BenchmarkExt2(b *testing.B)    { benchExperiment(b, "ext2") }
+
+// --- micro-benchmarks of the framework's hot paths ---
+
+type benchEnv struct {
+	g      *kg.Graph
+	model  kgc.Model
+	filter *kg.FilterIndex
+	fw     *core.Framework
+}
+
+var envCache *benchEnv
+
+func env(b *testing.B) *benchEnv {
+	b.Helper()
+	if envCache != nil {
+		return envCache
+	}
+	ds, err := synth.Generate(synth.CoDExMSim())
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := ds.Graph
+	m := kgc.NewComplEx(g, 32, 1)
+	cfg := kgc.DefaultTrainConfig()
+	cfg.Epochs = 5
+	kgc.Train(m, g, cfg)
+	fw := core.New(recommender.NewLWD(), g.NumEntities/10, 3)
+	if err := fw.Fit(g); err != nil {
+		b.Fatal(err)
+	}
+	envCache = &benchEnv{
+		g:      g,
+		model:  m,
+		filter: kg.NewFilterIndex(g.Train, g.Valid, g.Test),
+		fw:     fw,
+	}
+	return envCache
+}
+
+// BenchmarkFullEvaluation measures the O(|E|²) baseline protocol.
+func BenchmarkFullEvaluation(b *testing.B) {
+	e := env(b)
+	opts := eval.Options{Filter: e.filter, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.FullEvaluate(e.model, e.g, e.g.Test, opts)
+	}
+}
+
+// BenchmarkEstimate* measure the framework's sampled protocols — the
+// speed-up over BenchmarkFullEvaluation is the paper's headline.
+func BenchmarkEstimateRandom(b *testing.B)        { benchEstimate(b, core.StrategyRandom) }
+func BenchmarkEstimateStatic(b *testing.B)        { benchEstimate(b, core.StrategyStatic) }
+func BenchmarkEstimateProbabilistic(b *testing.B) { benchEstimate(b, core.StrategyProbabilistic) }
+
+func benchEstimate(b *testing.B, s core.Strategy) {
+	e := env(b)
+	opts := eval.Options{Filter: e.filter, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.fw.Estimate(e.model, e.g, e.g.Test, s, opts)
+	}
+}
+
+// BenchmarkLWDFit measures Algorithm 1's two sparse multiplications.
+func BenchmarkLWDFit(b *testing.B) {
+	e := env(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := recommender.NewLWD()
+		if err := l.Fit(e.g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBuildStatic measures the per-column CR/RR threshold optimization.
+func BenchmarkBuildStatic(b *testing.B) {
+	e := env(b)
+	l := recommender.NewLWD()
+	if err := l.Fit(e.g); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		recommender.BuildStatic(l.Scores(), e.g, recommender.DefaultStaticOpts())
+	}
+}
+
+// BenchmarkKPScore measures the Knowledge Persistence proxy.
+func BenchmarkKPScore(b *testing.B) {
+	e := env(b)
+	prov := &eval.RandomProvider{NumEntities: e.g.NumEntities, N: 100}
+	cfg := kp.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kp.Score(e.model, e.g, e.g.Test, prov, cfg)
+	}
+}
+
+// BenchmarkTrainEpoch measures one negative-sampling training epoch.
+func BenchmarkTrainEpoch(b *testing.B) {
+	e := env(b)
+	m := kgc.NewDistMult(e.g, 32, 2)
+	cfg := kgc.DefaultTrainConfig()
+	cfg.Epochs = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kgc.Train(m, e.g, cfg)
+	}
+}
+
+// BenchmarkSynthGenerate measures dataset generation.
+func BenchmarkSynthGenerate(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := synth.Generate(synth.CoDExSSim()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- ablations (DESIGN.md §5) ---
+
+// BenchmarkEstimateProbabilisticWR is the with-replacement ablation of the
+// probabilistic strategy (alias draws instead of Efraimidis–Spirakis).
+func BenchmarkEstimateProbabilisticWR(b *testing.B) {
+	e := env(b)
+	rec := recommender.NewLWD()
+	if err := rec.Fit(e.g); err != nil {
+		b.Fatal(err)
+	}
+	prov := &eval.ProbabilisticWRProvider{Scores: rec.Scores(), N: e.g.NumEntities / 10}
+	opts := eval.Options{Filter: e.filter, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eval.Evaluate(e.model, e.g, e.g.Test, prov, opts)
+	}
+}
+
+// BenchmarkTrainEpochGuidedNegatives measures the §7 future-work trainer:
+// corruption candidates drawn from recommender scores instead of uniformly.
+func BenchmarkTrainEpochGuidedNegatives(b *testing.B) {
+	e := env(b)
+	rec := recommender.NewLWD()
+	if err := rec.Fit(e.g); err != nil {
+		b.Fatal(err)
+	}
+	m := kgc.NewDistMult(e.g, 32, 2)
+	cfg := kgc.DefaultTrainConfig()
+	cfg.Epochs = 1
+	cfg.Negatives = core.NewRecNegativeSampler(rec.Scores())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kgc.Train(m, e.g, cfg)
+	}
+}

@@ -1,0 +1,70 @@
+// Command benchtables regenerates the paper's tables and figures on the
+// synthetic dataset suite.
+//
+// Usage:
+//
+//	benchtables                      # run everything at full scale
+//	benchtables -exp table6,fig3b    # run selected experiments
+//	benchtables -scale quick         # shrunken datasets, seconds not minutes
+//	benchtables -o results.txt       # also write output to a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"kgeval/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchtables: ")
+	var (
+		exp   = flag.String("exp", "all", "comma-separated experiment ids, or 'all' (ids: "+strings.Join(experiments.ExperimentIDs(), ",")+")")
+		scale = flag.String("scale", "full", "experiment scale: full or quick")
+		out   = flag.String("o", "", "optional output file (output always goes to stdout too)")
+	)
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scale {
+	case "full":
+		sc = experiments.ScaleFull
+	case "quick":
+		sc = experiments.ScaleQuick
+	default:
+		log.Fatalf("unknown -scale %q (want full or quick)", *scale)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	r := experiments.NewRunner(sc, w)
+	if *exp == "all" {
+		if err := r.RunAll(); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	for _, id := range strings.Split(*exp, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "running %s...\n", id)
+		if err := r.Run(id); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

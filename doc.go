@@ -1,0 +1,19 @@
+// Package kgeval is a from-scratch Go reproduction of "Are We Wasting Time?
+// A Fast, Accurate Performance Evaluation Framework for Knowledge Graph Link
+// Predictors" (Cornell et al., ICDE 2025; arXiv:2402.00053).
+//
+// The repository root package only anchors the module and its benchmark
+// harness (bench_test.go). The implementation lives under internal/:
+//
+//	internal/core         the evaluation framework (the paper's contribution)
+//	internal/recommender  relation recommenders: PT, DBH(-T), OntoSim,
+//	                      L-WD(-T), PIE-Sim
+//	internal/eval         full + sampled filtered ranking protocols
+//	internal/kgc          TransE/DistMult/ComplEx/RESCAL/RotatE/TuckER/ConvE
+//	internal/kp           Knowledge Persistence baseline
+//	internal/synth        typed synthetic KG generator (dataset substitute)
+//	internal/experiments  regenerates every table and figure of the paper
+//	internal/{kg,sparse,sample,stats}  substrates
+//
+// See README.md for a tour and DESIGN.md for the per-experiment index.
+package kgeval

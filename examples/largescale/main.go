@@ -1,0 +1,66 @@
+// Largescale reproduces the paper's headline ogbl-wikikg2 story on the
+// synthetic wikikg2-sim dataset: a full filtered evaluation is painfully
+// slow at scale, while probabilistic sampling of ~2% of entities estimates
+// the same MRR at a fraction of the cost (20 s instead of 30 min in the
+// paper; proportionally smaller here).
+//
+//	go run ./examples/largescale
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kgeval/internal/core"
+	"kgeval/internal/eval"
+	"kgeval/internal/kg"
+	"kgeval/internal/kgc"
+	"kgeval/internal/recommender"
+	"kgeval/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("generating wikikg2-sim (largest synthetic preset)...")
+	ds, err := synth.Generate(synth.WikiKG2Sim())
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := ds.Graph
+	fmt.Printf("  |E|=%d |R|=%d train=%d test=%d\n",
+		g.NumEntities, g.NumRelations, len(g.Train), len(g.Test))
+
+	fmt.Println("training ComplEx (a stand-in for the paper's pretrained ComplEx-RP)...")
+	model := kgc.NewComplEx(g, 32, 7)
+	cfg := kgc.DefaultTrainConfig()
+	cfg.Epochs = 5
+	kgc.Train(model, g, cfg)
+
+	fmt.Println("fitting L-WD (sparse matrix ops only)...")
+	fw := core.New(recommender.NewLWD(), g.NumEntities/50, 9) // n_s = 2% of |E|
+	if err := fw.Fit(g); err != nil {
+		log.Fatal(err)
+	}
+
+	filter := kg.NewFilterIndex(g.Train, g.Valid, g.Test)
+	opts := eval.Options{Filter: filter}
+
+	fmt.Println("running FULL filtered evaluation (the expensive baseline)...")
+	full := core.FullEvaluate(model, g, g.Test, opts)
+	fmt.Printf("  full: MRR %.4f in %v (%d candidate scorings)\n",
+		full.MRR, full.Elapsed, full.CandidatesScored)
+
+	fmt.Println("running 2% probabilistic estimate...")
+	est := fw.Estimate(model, g, g.Test, core.StrategyProbabilistic, opts)
+	fmt.Printf("  prob: MRR %.4f in %v (%d candidate scorings)\n",
+		est.MRR, est.Elapsed, est.CandidatesScored)
+
+	rnd := fw.Estimate(model, g, g.Test, core.StrategyRandom, opts)
+	fmt.Printf("  rand: MRR %.4f in %v — overestimates by %.3f\n",
+		rnd.MRR, rnd.Elapsed, rnd.MRR-full.MRR)
+
+	speedup := full.Elapsed.Seconds() / est.Elapsed.Seconds()
+	fmt.Printf("\nprobabilistic estimate: %.1fx faster, MRR error %+.4f vs random's %+.4f\n",
+		speedup, est.MRR-full.MRR, rnd.MRR-full.MRR)
+}

@@ -1,0 +1,98 @@
+// Modelselection shows the Table 8 use case: picking the best of several
+// models during training using cheap estimates instead of full evaluations.
+// A good estimator must preserve the models' *ordering* epoch by epoch.
+//
+//	go run ./examples/modelselection
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kgeval/internal/core"
+	"kgeval/internal/eval"
+	"kgeval/internal/kg"
+	"kgeval/internal/kgc"
+	"kgeval/internal/recommender"
+	"kgeval/internal/stats"
+	"kgeval/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	ds, err := synth.Generate(synth.CoDExSSim())
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := ds.Graph
+	filter := kg.NewFilterIndex(g.Train, g.Valid, g.Test)
+
+	fw := core.New(recommender.NewLWD(), g.NumEntities/10, 3)
+	if err := fw.Fit(g); err != nil {
+		log.Fatal(err)
+	}
+
+	const epochs = 8
+	modelNames := []string{"TransE", "DistMult", "ComplEx", "RESCAL"}
+
+	// truth[e][m] and estimate[strategy][e][m] hold per-epoch MRRs.
+	truth := make([][]float64, epochs)
+	est := map[core.Strategy][][]float64{}
+	for _, s := range core.Strategies() {
+		est[s] = make([][]float64, epochs)
+	}
+
+	for mi, name := range modelNames {
+		m, err := kgc.New(name, g, kgc.DefaultDim(name), int64(mi+1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := kgc.DefaultTrainConfig()
+		cfg.Epochs = epochs
+		cfg.Seed = int64(mi + 1)
+		cfg.EpochCallback = func(ep int) bool {
+			opts := eval.Options{Filter: filter, Seed: int64(100*mi + ep)}
+			truth[ep-1] = append(truth[ep-1], core.FullEvaluate(m, g, g.Valid, opts).MRR)
+			for _, s := range core.Strategies() {
+				est[s][ep-1] = append(est[s][ep-1], fw.Estimate(m, g, g.Valid, s, opts).MRR)
+			}
+			return true
+		}
+		fmt.Printf("training %s...\n", name)
+		kgc.Train(m, g, cfg)
+	}
+
+	fmt.Printf("\nper-epoch Kendall-tau between estimated and true model ordering:\n")
+	fmt.Printf("%-8s", "epoch")
+	for _, s := range core.Strategies() {
+		fmt.Printf("%14s", s)
+	}
+	fmt.Println()
+	agree := map[core.Strategy]int{}
+	for ep := 0; ep < epochs; ep++ {
+		fmt.Printf("%-8d", ep+1)
+		for _, s := range core.Strategies() {
+			tau := stats.KendallTau(est[s][ep], truth[ep])
+			fmt.Printf("%14.3f", tau)
+			if argmax(est[s][ep]) == argmax(truth[ep]) {
+				agree[s]++
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\nepochs where the estimator picked the truly best model:\n")
+	for _, s := range core.Strategies() {
+		fmt.Printf("  %-14s %d/%d\n", s, agree[s], epochs)
+	}
+}
+
+func argmax(xs []float64) int {
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}

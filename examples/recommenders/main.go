@@ -1,0 +1,59 @@
+// Recommenders compares the relation recommenders on the Candidate Recall /
+// Reduction Rate trade-off (the paper's Table 5): how much of the entity set
+// each method lets the evaluator skip, and how many true candidates it
+// keeps — including candidates never observed in training, where PT fails
+// by construction.
+//
+//	go run ./examples/recommenders
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"kgeval/internal/recommender"
+	"kgeval/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	ds, err := synth.Generate(synth.FB15k237Sim())
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := ds.Graph
+	fmt.Printf("dataset %s: |E|=%d |R|=%d |T|=%d\n\n", g.Name, g.NumEntities, g.NumRelations, g.NumTypes)
+
+	recs := []recommender.Recommender{
+		recommender.NewPT(),
+		recommender.NewDBH(),
+		recommender.NewDBHT(),
+		recommender.NewOntoSim(),
+		recommender.NewPIESim(1),
+		recommender.NewLWD(),
+		recommender.NewLWDT(),
+	}
+
+	fmt.Printf("%-10s %-18s %-8s %-12s %s\n", "method", "CR (test/unseen)", "RR", "fit time", "notes")
+	for _, rec := range recs {
+		start := time.Now()
+		if err := rec.Fit(g); err != nil {
+			log.Fatalf("%s: %v", rec.Name(), err)
+		}
+		fit := time.Since(start)
+		sets := recommender.BuildStatic(rec.Scores(), g, recommender.DefaultStaticOpts())
+		q := recommender.EvaluateCandidates(sets, g)
+
+		notes := ""
+		if !rec.SupportsUnseen() {
+			notes = "cannot propose unseen candidates"
+		}
+		fmt.Printf("%-10s %.3f / %-8.3f  %-8.3f %-12s %s\n",
+			rec.Name(), q.CRTest, q.CRUnseen, q.RR, fit.Round(time.Millisecond), notes)
+	}
+
+	fmt.Println("\nOntoSim buys recall with a poor reduction rate; L-WD matches the")
+	fmt.Println("learned PIE recommender at a tiny fraction of the fitting cost.")
+}

@@ -1,0 +1,124 @@
+// Package core is the public facade of kgeval: the paper's fast, accurate
+// evaluation framework for knowledge-graph link predictors.
+//
+// Usage mirrors Figure 1 (B) of the paper:
+//
+//	fw := core.New(recommender.NewLWD(), 200, 42)   // relation recommender + n_s
+//	if err := fw.Fit(g); err != nil { ... }          // one-time preprocessing
+//	est := fw.Estimate(model, g, g.Valid, core.StrategyProbabilistic, opts)
+//	// est.MRR ≈ full filtered MRR, at a fraction of the cost.
+//
+// The framework is model-agnostic: anything implementing kgc.Model can be
+// estimated. Fitting the recommender and discretizing candidate sets happen
+// once per graph; each Estimate call then performs only 2·|R| candidate
+// samplings plus the ranking work on the small pools.
+package core
+
+import (
+	"fmt"
+
+	"kgeval/internal/eval"
+	"kgeval/internal/kg"
+	"kgeval/internal/kgc"
+	"kgeval/internal/recommender"
+)
+
+// Strategy selects the candidate sampling strategy (§4.1).
+type Strategy int
+
+const (
+	// StrategyRandom samples candidates uniformly from all entities — the
+	// baseline the paper shows to be overly optimistic.
+	StrategyRandom Strategy = iota
+	// StrategyStatic samples uniformly inside thresholded recommender
+	// candidate sets.
+	StrategyStatic
+	// StrategyProbabilistic samples weighted by recommender scores without
+	// replacement.
+	StrategyProbabilistic
+)
+
+// String returns the paper's abbreviation: R, S or P.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyRandom:
+		return "R"
+	case StrategyStatic:
+		return "S"
+	case StrategyProbabilistic:
+		return "P"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// Strategies lists all strategies in the paper's column order (R, P, S).
+func Strategies() []Strategy {
+	return []Strategy{StrategyRandom, StrategyProbabilistic, StrategyStatic}
+}
+
+// Framework bundles a relation recommender with a sample budget n_s and
+// exposes the paper's estimation pipeline.
+type Framework struct {
+	Rec        recommender.Recommender
+	NumSamples int // n_s: candidates per (relation, direction)
+	Seed       int64
+
+	graph *kg.Graph
+	sets  *recommender.CandidateSets
+}
+
+// New builds an unfitted Framework.
+func New(rec recommender.Recommender, numSamples int, seed int64) *Framework {
+	return &Framework{Rec: rec, NumSamples: numSamples, Seed: seed}
+}
+
+// Fit runs the one-time preprocessing on a graph: fitting the relation
+// recommender on the training split and discretizing its score matrix into
+// static candidate sets.
+func (f *Framework) Fit(g *kg.Graph) error {
+	if err := f.Rec.Fit(g); err != nil {
+		return fmt.Errorf("core: fitting %s: %w", f.Rec.Name(), err)
+	}
+	f.graph = g
+	f.sets = recommender.BuildStatic(f.Rec.Scores(), g, recommender.DefaultStaticOpts())
+	return nil
+}
+
+// Sets returns the discretized candidate sets (available after Fit).
+func (f *Framework) Sets() *recommender.CandidateSets { return f.sets }
+
+// Provider returns the candidate provider implementing the strategy.
+// Fit must have been called.
+func (f *Framework) Provider(s Strategy) eval.CandidateProvider {
+	f.mustBeFitted()
+	switch s {
+	case StrategyRandom:
+		return &eval.RandomProvider{NumEntities: f.graph.NumEntities, N: f.NumSamples}
+	case StrategyStatic:
+		return &eval.StaticProvider{Sets: f.sets, N: f.NumSamples}
+	case StrategyProbabilistic:
+		return &eval.ProbabilisticProvider{Scores: f.Rec.Scores(), N: f.NumSamples}
+	}
+	panic(fmt.Sprintf("core: unknown strategy %d", int(s)))
+}
+
+// Estimate runs a sampled filtered evaluation of the model over the split
+// with the given strategy, returning estimated ranking metrics.
+func (f *Framework) Estimate(m kgc.Model, g *kg.Graph, split []kg.Triple, s Strategy, opts eval.Options) eval.Result {
+	if opts.Seed == 0 {
+		opts.Seed = f.Seed
+	}
+	return eval.Evaluate(m, g, split, f.Provider(s), opts)
+}
+
+// FullEvaluate runs the standard full filtered ranking protocol — the
+// expensive ground truth the framework's estimates are compared against.
+func FullEvaluate(m kgc.Model, g *kg.Graph, split []kg.Triple, opts eval.Options) eval.Result {
+	return eval.Evaluate(m, g, split, eval.NewFullProvider(g.NumEntities), opts)
+}
+
+func (f *Framework) mustBeFitted() {
+	if f.graph == nil {
+		panic("core: Framework used before Fit")
+	}
+}

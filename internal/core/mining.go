@@ -1,0 +1,61 @@
+package core
+
+import (
+	"kgeval/internal/kg"
+	"kgeval/internal/recommender"
+)
+
+// EasyNegativesReport is Table 2 of the paper: how many (entity,
+// domain/range) pairs a recommender rules out with score zero, and which
+// known-true triples that mining would wrongly discard ("false easy
+// negatives" — usually noise in the KG itself).
+type EasyNegativesReport struct {
+	Dataset       string
+	EasyNegatives int
+	Fraction      float64 // of all |E|·2|R| pairs
+	FalseEasy     []kg.Triple
+}
+
+// MineEasyNegatives reproduces Table 2 for a fitted recommender: counts the
+// zero-score pairs and checks every triple in all splits against them.
+func MineEasyNegatives(rec recommender.Recommender, g *kg.Graph) EasyNegativesReport {
+	scores := rec.Scores()
+	count, frac := scores.EasyNegatives()
+	return EasyNegativesReport{
+		Dataset:       g.Name,
+		EasyNegatives: count,
+		Fraction:      frac,
+		FalseEasy:     recommender.FalseEasyNegatives(scores, g.AllTriples()),
+	}
+}
+
+// ComplexityReport is Table 3 of the paper: the number of negative samples
+// an evaluation needs when the candidate generator is entity-aware (one
+// sampling per distinct (h,r)/(r,t) pair) versus a relation recommender
+// (one sampling per relation and direction).
+type ComplexityReport struct {
+	Dataset        string
+	PairQueries    int     // distinct (h,r)- and (r,t)-pairs in test
+	PairSamples    int64   // PairQueries · f_s·|E|
+	RelationSlots  int     // 2 · |relations appearing in test|
+	RelSamples     int64   // RelationSlots · f_s·|E|
+	ReductionRatio float64 // PairSamples / RelSamples
+}
+
+// SamplingComplexity computes Table 3 for a graph at sampling fraction fs.
+func SamplingComplexity(g *kg.Graph, fs float64) ComplexityReport {
+	hr, rt := kg.DistinctQueryPairs(g.Test)
+	rels := kg.DistinctRelations(g.Test)
+	perPool := int64(fs * float64(g.NumEntities))
+	rep := ComplexityReport{
+		Dataset:       g.Name,
+		PairQueries:   hr + rt,
+		RelationSlots: 2 * rels,
+	}
+	rep.PairSamples = int64(rep.PairQueries) * perPool
+	rep.RelSamples = int64(rep.RelationSlots) * perPool
+	if rep.RelSamples > 0 {
+		rep.ReductionRatio = float64(rep.PairSamples) / float64(rep.RelSamples)
+	}
+	return rep
+}

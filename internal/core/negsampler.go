@@ -1,0 +1,70 @@
+package core
+
+import (
+	"math/rand"
+
+	"kgeval/internal/kgc"
+	"kgeval/internal/recommender"
+	"kgeval/internal/sample"
+)
+
+// RecNegativeSampler draws *training* corruption candidates from a relation
+// recommender's score distribution instead of uniformly — the paper's
+// future-work direction ("investigate relation recommenders as negative
+// sample probabilities during training", §7). Hard, type-plausible negatives
+// give the model a sharper decision boundary than uniform easy negatives.
+//
+// Each domain/range column gets a Walker alias table for O(1) draws, built
+// once from the recommender's scores.
+type RecNegativeSampler struct {
+	numRelations int
+	ids          [][]int32       // per column: entity ids with positive score
+	tables       []*sample.Alias // per column: alias table over those ids
+	fallback     int             // |E|, for columns with no scored entities
+}
+
+var _ kgc.NegativeSampler = (*RecNegativeSampler)(nil)
+
+// NewRecNegativeSampler builds a sampler from a fitted recommender's scores.
+func NewRecNegativeSampler(s *recommender.ScoreMatrix) *RecNegativeSampler {
+	cols := 2 * s.NumRelations
+	out := &RecNegativeSampler{
+		numRelations: s.NumRelations,
+		ids:          make([][]int32, cols),
+		tables:       make([]*sample.Alias, cols),
+		fallback:     s.NumEntities,
+	}
+	for c := 0; c < cols; c++ {
+		ids, scores := s.Column(c)
+		out.ids[c] = ids
+		out.tables[c] = sample.NewAlias(scores)
+	}
+	return out
+}
+
+// SampleTail draws a corruption candidate for the tail of relation r.
+// Reciprocal relation ids (r ≥ |R|, used by ConvE-style training) map to the
+// domain of the original relation, since the tail of r⁻¹ is a head of r.
+func (s *RecNegativeSampler) SampleTail(r int32, rng *rand.Rand) int32 {
+	if int(r) >= s.numRelations {
+		return s.draw(recommender.DomainCol(int(r)-s.numRelations, s.numRelations), rng)
+	}
+	return s.draw(recommender.RangeCol(int(r), s.numRelations), rng)
+}
+
+// SampleHead draws a corruption candidate for the head of relation r.
+func (s *RecNegativeSampler) SampleHead(r int32, rng *rand.Rand) int32 {
+	if int(r) >= s.numRelations {
+		return s.draw(recommender.RangeCol(int(r)-s.numRelations, s.numRelations), rng)
+	}
+	return s.draw(recommender.DomainCol(int(r), s.numRelations), rng)
+}
+
+func (s *RecNegativeSampler) draw(col int, rng *rand.Rand) int32 {
+	t := s.tables[col]
+	if t == nil {
+		// Nothing scored for this column: fall back to uniform.
+		return int32(rng.Intn(s.fallback))
+	}
+	return s.ids[col][t.Draw(rng)]
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"kgeval/internal/kgc"
+	"kgeval/internal/recommender"
+)
+
+func TestRecNegativeSamplerDrawsPlausibleCandidates(t *testing.T) {
+	g, ds := coreGraph(t)
+	lwd := recommender.NewLWD()
+	if err := lwd.Fit(g); err != nil {
+		t.Fatal(err)
+	}
+	ns := NewRecNegativeSampler(lwd.Scores())
+	rng := rand.New(rand.NewSource(1))
+
+	scores := lwd.Scores()
+	for r := int32(0); r < int32(g.NumRelations); r++ {
+		for i := 0; i < 20; i++ {
+			tail := ns.SampleTail(r, rng)
+			if tail < 0 || int(tail) >= g.NumEntities {
+				t.Fatalf("tail %d out of range", tail)
+			}
+			// A drawn tail must have nonzero recommender score for the
+			// range column (unless the column is empty → uniform fallback).
+			col := recommender.RangeCol(int(r), g.NumRelations)
+			if ids, _ := scores.Column(col); len(ids) > 0 {
+				if scores.Score(tail, col) <= 0 {
+					t.Fatalf("relation %d: sampled tail %d has zero score", r, tail)
+				}
+			}
+			head := ns.SampleHead(r, rng)
+			if head < 0 || int(head) >= g.NumEntities {
+				t.Fatalf("head %d out of range", head)
+			}
+		}
+	}
+	_ = ds
+}
+
+func TestRecNegativeSamplerReciprocalRelations(t *testing.T) {
+	g, _ := coreGraph(t)
+	lwd := recommender.NewLWD()
+	if err := lwd.Fit(g); err != nil {
+		t.Fatal(err)
+	}
+	ns := NewRecNegativeSampler(lwd.Scores())
+	rng := rand.New(rand.NewSource(2))
+	// Inverse relation ids (ConvE-style) must not panic and must stay in
+	// range: tail of r⁻¹ is a head of r.
+	for r := int32(g.NumRelations); r < int32(2*g.NumRelations); r++ {
+		v := ns.SampleTail(r, rng)
+		if v < 0 || int(v) >= g.NumEntities {
+			t.Fatalf("reciprocal tail %d out of range", v)
+		}
+		v = ns.SampleHead(r, rng)
+		if v < 0 || int(v) >= g.NumEntities {
+			t.Fatalf("reciprocal head %d out of range", v)
+		}
+	}
+}
+
+// Training with recommender-guided negatives (the paper's §7 future work)
+// must run end to end and still learn to separate positives from noise.
+func TestTrainingWithGuidedNegatives(t *testing.T) {
+	g, _ := coreGraph(t)
+	lwd := recommender.NewLWD()
+	if err := lwd.Fit(g); err != nil {
+		t.Fatal(err)
+	}
+	m := kgc.NewDistMult(g, 16, 4)
+	cfg := kgc.DefaultTrainConfig()
+	cfg.Epochs = 6
+	cfg.Negatives = NewRecNegativeSampler(lwd.Scores())
+	kgc.Train(m, g, cfg)
+
+	rng := rand.New(rand.NewSource(5))
+	wins, total := 0, 0
+	for i, tr := range g.Train {
+		if i >= 300 {
+			break
+		}
+		sPos := m.ScoreTriple(tr.H, tr.R, tr.T)
+		for k := 0; k < 3; k++ {
+			nt := rng.Int31n(int32(g.NumEntities))
+			if nt == tr.T {
+				continue
+			}
+			if sPos > m.ScoreTriple(tr.H, tr.R, nt) {
+				wins++
+			}
+			total++
+		}
+	}
+	if sep := float64(wins) / float64(total); sep < 0.7 {
+		t.Fatalf("guided-negative training separation = %.3f, want ≥ 0.7", sep)
+	}
+	// ConvE exercises the reciprocal-relation path.
+	conv := kgc.NewConvE(g, 8, 4)
+	cfg.Epochs = 1
+	kgc.Train(conv, g, cfg)
+}

@@ -1,0 +1,83 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"kgeval/internal/kg"
+	"kgeval/internal/recommender"
+)
+
+func TestEvaluateEmptySplit(t *testing.T) {
+	g := evalGraph(t)
+	res := Evaluate(formulaModel{}, g, nil, NewFullProvider(g.NumEntities), Options{Seed: 1})
+	if res.Queries != 0 || res.MRR != 0 {
+		t.Fatalf("empty split: %+v", res.Metrics)
+	}
+}
+
+func TestEvaluateSingleTriple(t *testing.T) {
+	g := evalGraph(t)
+	res := Evaluate(formulaModel{}, g, g.Test[:1], NewFullProvider(g.NumEntities), Options{Seed: 1})
+	if res.Queries != 2 {
+		t.Fatalf("Queries = %d, want 2", res.Queries)
+	}
+	if res.MRR <= 0 || res.MRR > 1 {
+		t.Fatalf("MRR = %v out of (0,1]", res.MRR)
+	}
+}
+
+// A relation whose static candidate set is empty must not crash: the rank is
+// computed against an empty pool, giving rank 1 for that query.
+func TestEvaluateEmptyCandidatePool(t *testing.T) {
+	g := &kg.Graph{
+		Name: "empty-pool", NumEntities: 4, NumRelations: 2,
+		Train: []kg.Triple{{H: 0, R: 0, T: 1}},
+		Test:  []kg.Triple{{H: 0, R: 1, T: 2}}, // relation 1 unseen in train
+	}
+	lwd := recommender.NewLWD()
+	if err := lwd.Fit(g); err != nil {
+		t.Fatal(err)
+	}
+	sets := recommender.BuildStatic(lwd.Scores(), g, recommender.StaticOpts{IncludeSeen: true})
+	res := Evaluate(formulaModel{}, g, g.Test, &StaticProvider{Sets: sets, N: 5}, Options{Seed: 1})
+	if res.Queries != 2 {
+		t.Fatalf("Queries = %d, want 2", res.Queries)
+	}
+	if res.MRR != 1 {
+		t.Fatalf("rank against empty pool must be 1, MRR = %v", res.MRR)
+	}
+}
+
+// Provider pools that contain only filtered-out entities must also lead to
+// rank 1 (all candidates are known positives and get skipped).
+func TestEvaluateAllCandidatesFiltered(t *testing.T) {
+	g := &kg.Graph{
+		Name: "all-filtered", NumEntities: 3, NumRelations: 1,
+		Train: []kg.Triple{{H: 0, R: 0, T: 1}, {H: 1, R: 0, T: 2}, {H: 2, R: 0, T: 2}},
+		Test:  []kg.Triple{{H: 0, R: 0, T: 2}},
+	}
+	// Tail query (0,0,?): candidates {1,2} — 1 is a known tail of (0,0),
+	// 2 is the query answer; both excluded → rank 1. Head query (?,0,2):
+	// candidates {1,2} are both known heads of (·,0,2) → rank 1.
+	res := Evaluate(formulaModel{}, g, g.Test, fixedProvider{pool: []int32{1, 2}}, Options{Seed: 1})
+	if res.MRR != 1 {
+		t.Fatalf("MRR = %v, want 1", res.MRR)
+	}
+}
+
+type fixedProvider struct{ pool []int32 }
+
+func (fixedProvider) Name() string { return "fixed" }
+func (f fixedProvider) Candidates(r int32, tail bool, rng *rand.Rand) []int32 {
+	return f.pool
+}
+
+// Options.Workers larger than the query count must not lose queries.
+func TestEvaluateMoreWorkersThanQueries(t *testing.T) {
+	g := evalGraph(t)
+	res := Evaluate(formulaModel{}, g, g.Test[:3], NewFullProvider(g.NumEntities), Options{Seed: 1, Workers: 16})
+	if res.Queries != 6 {
+		t.Fatalf("Queries = %d, want 6", res.Queries)
+	}
+}

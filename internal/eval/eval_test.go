@@ -1,0 +1,297 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kgeval/internal/kg"
+	"kgeval/internal/kgc"
+	"kgeval/internal/recommender"
+	"kgeval/internal/synth"
+)
+
+// formulaModel is a deterministic fake model: score(h,r,t) is a fixed
+// arithmetic function, identical across ScoreTriple/ScoreTails/ScoreHeads.
+type formulaModel struct{}
+
+func (formulaModel) Name() string { return "formula" }
+func (formulaModel) Dim() int     { return 1 }
+func (formulaModel) ScoreTriple(h, r, t int32) float64 {
+	return float64((int(h)*7+int(r)*13+int(t)*29)%101) / 101
+}
+func (m formulaModel) ScoreTails(h, r int32, cands []int32, out []float64) {
+	for i, c := range cands {
+		out[i] = m.ScoreTriple(h, r, c)
+	}
+}
+func (m formulaModel) ScoreHeads(r, t int32, cands []int32, out []float64) {
+	for i, c := range cands {
+		out[i] = m.ScoreTriple(c, r, t)
+	}
+}
+
+// oracleModel scores known triples 1 and everything else 0.
+type oracleModel struct{ idx *kg.FilterIndex }
+
+func (oracleModel) Name() string { return "oracle" }
+func (oracleModel) Dim() int     { return 1 }
+func (m oracleModel) ScoreTriple(h, r, t int32) float64 {
+	if m.idx.IsKnownTail(h, r, t) {
+		return 1
+	}
+	return 0
+}
+func (m oracleModel) ScoreTails(h, r int32, cands []int32, out []float64) {
+	for i, c := range cands {
+		out[i] = m.ScoreTriple(h, r, c)
+	}
+}
+func (m oracleModel) ScoreHeads(r, t int32, cands []int32, out []float64) {
+	for i, c := range cands {
+		out[i] = m.ScoreTriple(c, r, t)
+	}
+}
+
+func evalGraph(t *testing.T) *kg.Graph {
+	t.Helper()
+	ds, err := synth.Generate(synth.Config{
+		Name: "eval-test", NumEntities: 300, NumRelations: 8, NumTypes: 10,
+		NumTriples: 4000, ValidFrac: 0.06, TestFrac: 0.06, Seed: 321,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds.Graph
+}
+
+func TestFullEvaluationPerfectModelMRROne(t *testing.T) {
+	g := evalGraph(t)
+	m := oracleModel{idx: kg.NewFilterIndex(g.Train, g.Valid, g.Test)}
+	res := Evaluate(m, g, g.Test, NewFullProvider(g.NumEntities), Options{Seed: 1})
+	if math.Abs(res.MRR-1) > 1e-12 {
+		t.Fatalf("oracle MRR = %v, want 1 (filtering must remove all known positives)", res.MRR)
+	}
+	if res.Hits1 != 1 || res.Hits10 != 1 {
+		t.Fatalf("oracle Hits = %v/%v, want 1/1", res.Hits1, res.Hits10)
+	}
+	if res.Queries != 2*len(g.Test) {
+		t.Fatalf("Queries = %d, want %d (two per triple)", res.Queries, 2*len(g.Test))
+	}
+}
+
+// Hand-checkable ranking: 4 entities, candidate scores engineered to give a
+// known rank including the ties policy.
+func TestRankComputationWithTies(t *testing.T) {
+	g := &kg.Graph{
+		Name: "tiny", NumEntities: 5, NumRelations: 1,
+		Train: []kg.Triple{{H: 0, R: 0, T: 1}},
+		Test:  []kg.Triple{{H: 0, R: 0, T: 2}},
+	}
+	// tieModel: score(0,0,2)=0.5 (true), entity 3 scores 0.9 (better),
+	// entity 4 scores 0.5 (tie), entity 1 is filtered (known tail), entity 0
+	// scores 0.1.
+	m := scoreTable{
+		tails: map[int32]float64{0: 0.1, 1: 0.99, 2: 0.5, 3: 0.9, 4: 0.5},
+	}
+	res := Evaluate(m, g, g.Test, NewFullProvider(5), Options{Seed: 1})
+	// Tail query: better = {3}, ties = {4} → rank = 1 + 1 + 0.5 = 2.5.
+	// MRR contribution 1/2.5 = 0.4. Head query: all candidates score h-side
+	// 0 except true head (0) → rank 1 → contribution 1. Mean = 0.7.
+	if math.Abs(res.MRR-0.7) > 1e-12 {
+		t.Fatalf("MRR = %v, want 0.7 (tail rank 2.5, head rank 1)", res.MRR)
+	}
+}
+
+// scoreTable scores tail queries from a fixed table; head queries give the
+// true head 1 and everything else 0.
+type scoreTable struct {
+	tails map[int32]float64
+}
+
+func (scoreTable) Name() string { return "table" }
+func (scoreTable) Dim() int     { return 1 }
+func (s scoreTable) ScoreTriple(h, r, t int32) float64 {
+	return s.tails[t]
+}
+func (s scoreTable) ScoreTails(h, r int32, cands []int32, out []float64) {
+	for i, c := range cands {
+		out[i] = s.tails[c]
+	}
+}
+func (s scoreTable) ScoreHeads(r, t int32, cands []int32, out []float64) {
+	for i, c := range cands {
+		if c == 0 {
+			out[i] = 1
+		} else {
+			out[i] = 0
+		}
+	}
+}
+
+func TestEvaluateDeterministic(t *testing.T) {
+	g := evalGraph(t)
+	p := &RandomProvider{NumEntities: g.NumEntities, N: 50}
+	a := Evaluate(formulaModel{}, g, g.Test, p, Options{Seed: 7})
+	b := Evaluate(formulaModel{}, g, g.Test, p, Options{Seed: 7})
+	if a.MRR != b.MRR || a.Hits10 != b.Hits10 {
+		t.Fatalf("same seed, different results: %v vs %v", a.Metrics, b.Metrics)
+	}
+	c := Evaluate(formulaModel{}, g, g.Test, p, Options{Seed: 8})
+	if a.MRR == c.MRR {
+		t.Log("different seeds gave identical MRR (possible but unlikely)")
+	}
+}
+
+func TestMaxQueriesSubsampling(t *testing.T) {
+	g := evalGraph(t)
+	res := Evaluate(formulaModel{}, g, g.Test, NewFullProvider(g.NumEntities), Options{Seed: 1, MaxQueries: 10})
+	if res.Queries != 20 {
+		t.Fatalf("Queries = %d, want 20", res.Queries)
+	}
+}
+
+func TestWorkerCountsAgree(t *testing.T) {
+	g := evalGraph(t)
+	p := NewFullProvider(g.NumEntities)
+	a := Evaluate(formulaModel{}, g, g.Test, p, Options{Seed: 3, Workers: 1})
+	b := Evaluate(formulaModel{}, g, g.Test, p, Options{Seed: 3, Workers: 4})
+	if math.Abs(a.MRR-b.MRR) > 1e-12 {
+		t.Fatalf("parallel evaluation changed the result: %v vs %v", a.MRR, b.MRR)
+	}
+}
+
+func TestCandidatesScoredAccounting(t *testing.T) {
+	g := evalGraph(t)
+	res := Evaluate(formulaModel{}, g, g.Test, NewFullProvider(g.NumEntities), Options{Seed: 1})
+	want := int64(2 * len(g.Test) * g.NumEntities)
+	if res.CandidatesScored != want {
+		t.Fatalf("CandidatesScored = %d, want %d", res.CandidatesScored, want)
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("Elapsed not measured")
+	}
+}
+
+func TestProviderPoolSizes(t *testing.T) {
+	g := evalGraph(t)
+	rng := rand.New(rand.NewSource(2))
+
+	rp := &RandomProvider{NumEntities: g.NumEntities, N: 40}
+	if got := len(rp.Candidates(0, true, rng)); got != 40 {
+		t.Fatalf("Random pool = %d, want 40", got)
+	}
+
+	lwd := recommender.NewLWD()
+	if err := lwd.Fit(g); err != nil {
+		t.Fatal(err)
+	}
+	sets := recommender.BuildStatic(lwd.Scores(), g, recommender.DefaultStaticOpts())
+	sp := &StaticProvider{Sets: sets, N: 40}
+	if got := len(sp.Candidates(0, true, rng)); got > 40 {
+		t.Fatalf("Static pool = %d, want ≤ 40", got)
+	}
+
+	pp := &ProbabilisticProvider{Scores: lwd.Scores(), N: 40}
+	pool := pp.Candidates(0, true, rng)
+	if len(pool) > 40 {
+		t.Fatalf("Probabilistic pool = %d, want ≤ 40", len(pool))
+	}
+	for i := 1; i < len(pool); i++ {
+		if pool[i] <= pool[i-1] {
+			t.Fatal("provider pools must be sorted")
+		}
+	}
+}
+
+// The paper's central claim, on synthetic data with a real trained model:
+// uniform random sampling OVERESTIMATES the true MRR, while the
+// recommender-guided strategies land much closer.
+func TestRandomOverestimatesGuidedDoesNot(t *testing.T) {
+	g := evalGraph(t)
+	m := kgc.NewComplEx(g, 16, 5)
+	cfg := kgc.DefaultTrainConfig()
+	cfg.Epochs = 8
+	kgc.Train(m, g, cfg)
+
+	filter := kg.NewFilterIndex(g.Train, g.Valid, g.Test)
+	opts := Options{Seed: 11, Filter: filter}
+	full := Evaluate(m, g, g.Test, NewFullProvider(g.NumEntities), opts)
+
+	ns := 30 // 10% of 300 entities
+	lwd := recommender.NewLWD()
+	if err := lwd.Fit(g); err != nil {
+		t.Fatal(err)
+	}
+	sets := recommender.BuildStatic(lwd.Scores(), g, recommender.DefaultStaticOpts())
+
+	random := Evaluate(m, g, g.Test, &RandomProvider{NumEntities: g.NumEntities, N: ns}, opts)
+	static := Evaluate(m, g, g.Test, &StaticProvider{Sets: sets, N: ns}, opts)
+	prob := Evaluate(m, g, g.Test, &ProbabilisticProvider{Scores: lwd.Scores(), N: ns}, opts)
+
+	if random.MRR <= full.MRR {
+		t.Fatalf("random MRR (%.3f) should overestimate full MRR (%.3f)", random.MRR, full.MRR)
+	}
+	errRandom := math.Abs(random.MRR - full.MRR)
+	errStatic := math.Abs(static.MRR - full.MRR)
+	errProb := math.Abs(prob.MRR - full.MRR)
+	if errStatic >= errRandom {
+		t.Fatalf("static error (%.3f) should beat random error (%.3f); full=%.3f static=%.3f random=%.3f",
+			errStatic, errRandom, full.MRR, static.MRR, random.MRR)
+	}
+	if errProb >= errRandom {
+		t.Fatalf("probabilistic error (%.3f) should beat random error (%.3f)", errProb, errRandom)
+	}
+}
+
+// Sampled evaluation must converge to the full result as n_s → |E|.
+func TestSampledConvergesToFull(t *testing.T) {
+	g := evalGraph(t)
+	m := formulaModel{}
+	filter := kg.NewFilterIndex(g.Train, g.Valid, g.Test)
+	opts := Options{Seed: 4, Filter: filter}
+	full := Evaluate(m, g, g.Test, NewFullProvider(g.NumEntities), opts)
+	allSampled := Evaluate(m, g, g.Test, &RandomProvider{NumEntities: g.NumEntities, N: g.NumEntities}, opts)
+	if math.Abs(full.MRR-allSampled.MRR) > 1e-12 {
+		t.Fatalf("n_s = |E| random sample (%.6f) must equal full (%.6f)", allSampled.MRR, full.MRR)
+	}
+	var prevErr float64 = math.Inf(1)
+	for _, ns := range []int{10, 100, 290} {
+		r := Evaluate(m, g, g.Test, &RandomProvider{NumEntities: g.NumEntities, N: ns}, opts)
+		e := math.Abs(r.MRR - full.MRR)
+		if e > prevErr+0.05 {
+			t.Fatalf("error not shrinking with n_s: ns=%d err=%.4f prev=%.4f", ns, e, prevErr)
+		}
+		prevErr = e
+	}
+}
+
+func TestMetricsFromRanks(t *testing.T) {
+	m := metricsFromRanks([]float64{1, 2, 10, 20})
+	if math.Abs(m.MRR-(1+0.5+0.1+0.05)/4) > 1e-12 {
+		t.Fatalf("MRR = %v", m.MRR)
+	}
+	if m.Hits1 != 0.25 || m.Hits3 != 0.5 || m.Hits10 != 0.75 {
+		t.Fatalf("Hits = %v/%v/%v", m.Hits1, m.Hits3, m.Hits10)
+	}
+	if m.MR != 8.25 {
+		t.Fatalf("MR = %v", m.MR)
+	}
+	empty := metricsFromRanks(nil)
+	if empty.MRR != 0 || empty.Queries != 0 {
+		t.Fatalf("empty ranks: %+v", empty)
+	}
+}
+
+func TestHitsAccessor(t *testing.T) {
+	m := Metrics{Hits1: 0.1, Hits3: 0.3, Hits10: 0.5}
+	for k, want := range map[int]float64{1: 0.1, 3: 0.3, 10: 0.5} {
+		got, err := m.Hits(k)
+		if err != nil || got != want {
+			t.Fatalf("Hits(%d) = %v, %v", k, got, err)
+		}
+	}
+	if _, err := m.Hits(5); err == nil {
+		t.Fatal("Hits(5) must error")
+	}
+}

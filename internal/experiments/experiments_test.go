@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestUnknownExperiment(t *testing.T) {
+	r := NewRunner(ScaleQuick, &bytes.Buffer{})
+	if err := r.Run("table99"); err == nil {
+		t.Fatal("want error for unknown experiment")
+	}
+}
+
+func TestExperimentIDsCoverDispatch(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) < 15 {
+		t.Fatalf("only %d experiment ids", len(ids))
+	}
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate id %s", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestStaticTablesQuick(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRunner(ScaleQuick, &buf)
+	for _, id := range []string{"table2", "table3", "table4", "thm1"} {
+		if err := r.Run(id); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 2", "Table 3", "Table 4", "Theorem 1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Table 3's reduction column must show a multi-fold reduction.
+	if !strings.Contains(out, "x") {
+		t.Fatal("table3 reduction factor missing")
+	}
+}
+
+func TestTable5Quick(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRunner(ScaleQuick, &buf)
+	if err := r.Run("table5"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, rec := range []string{"PT", "DBH-T", "OntoSim", "PIE", "L-WD", "L-WD-T"} {
+		if !strings.Contains(out, rec) {
+			t.Fatalf("table5 missing recommender %s:\n%s", rec, out)
+		}
+	}
+	// PT cannot recall unseen pairs: its CR Unseen cell must be 0.000.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "PT ") && strings.Contains(line, "/") {
+			if !strings.Contains(line, "/0.000") {
+				t.Fatalf("PT row should show CR Unseen 0.000: %q", line)
+			}
+		}
+	}
+}
+
+// The correlation suite is the heavy path: run it once at quick scale and
+// check every dependent table renders.
+func TestSuiteTablesQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite is seconds-long; skipped in -short")
+	}
+	var buf bytes.Buffer
+	r := NewRunner(ScaleQuick, &buf)
+	for _, id := range []string{"table6", "table7", "table8", "table9", "table12", "table15"} {
+		if err := r.Run(id); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 6", "Table 7", "Table 8", "Table 9", "Table 12", "Table 15"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+	if !strings.Contains(out, "codexs-sim") {
+		t.Fatal("suite tables missing quick-scale dataset rows")
+	}
+}
+
+func TestFiguresQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figures are seconds-long; skipped in -short")
+	}
+	var buf bytes.Buffer
+	r := NewRunner(ScaleQuick, &buf)
+	for _, id := range []string{"fig3a", "fig3b", "fig3c", "fig4", "fig6"} {
+		if err := r.Run(id); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 3a", "Figure 3b", "Figure 3c", "Figure 4/5", "Hits@10"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+}

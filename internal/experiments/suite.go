@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"time"
+
+	"kgeval/internal/core"
+	"kgeval/internal/eval"
+	"kgeval/internal/kgc"
+	"kgeval/internal/kp"
+)
+
+// epochPoint records one validation evaluation during training: the true
+// full filtered metrics plus every estimator's output and cost.
+type epochPoint struct {
+	epoch    int
+	full     eval.Metrics
+	fullTime time.Duration
+
+	est     map[core.Strategy]eval.Metrics
+	estTime map[core.Strategy]time.Duration
+
+	kpScore map[core.Strategy]float64
+	kpTime  map[core.Strategy]time.Duration
+}
+
+// modelRun is one model's training trajectory on a dataset.
+type modelRun struct {
+	model  string
+	final  kgc.Model
+	points []epochPoint
+}
+
+// suiteResult caches a dataset's full correlation-experiment run.
+type suiteResult struct {
+	dataset string
+	ns      int
+	runs    []modelRun
+}
+
+// suiteModels returns the paper's §5.2 model selection per dataset,
+// truncated at quick scale.
+func (r *Runner) suiteModels(dataset string) []string {
+	var models []string
+	switch dataset {
+	case "fb15k237-sim", "fb15k-sim":
+		models = []string{"TransE", "RotatE", "RESCAL", "DistMult", "ConvE", "ComplEx"}
+	case "codexs-sim":
+		models = []string{"TransE", "RESCAL", "ConvE", "ComplEx"}
+	case "codexm-sim":
+		models = []string{"ConvE", "ComplEx"}
+	case "codexl-sim":
+		models = []string{"TransE", "TuckER", "RESCAL", "ConvE", "ComplEx"}
+	default: // yago310-sim, wikikg2-sim
+		models = []string{"ComplEx"}
+	}
+	if r.Scale == ScaleQuick && len(models) > 3 {
+		models = models[:3]
+	}
+	return models
+}
+
+// suiteDatasets lists the datasets the correlation tables cover.
+func (r *Runner) suiteDatasets() []string {
+	if r.Scale == ScaleQuick {
+		return []string{"codexs-sim", "codexm-sim"}
+	}
+	return []string{
+		"fb15k237-sim", "fb15k-sim", "codexs-sim", "codexm-sim",
+		"codexl-sim", "yago310-sim", "wikikg2-sim",
+	}
+}
+
+func (r *Runner) suiteEpochs() int {
+	if r.Scale == ScaleQuick {
+		return 4
+	}
+	return 10
+}
+
+// suite trains every model configured for the dataset, evaluating the true
+// metric and every estimator each epoch (the paper's 100-epoch protocol,
+// scaled down). Results are cached per dataset.
+func (r *Runner) suite(dataset string) (*suiteResult, error) {
+	if s, ok := r.suites[dataset]; ok {
+		return s, nil
+	}
+	ds, err := r.dataset(dataset)
+	if err != nil {
+		return nil, err
+	}
+	g := ds.Graph
+	filter, err := r.filter(dataset)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := r.recommenderFor(dataset, "L-WD")
+	if err != nil {
+		return nil, err
+	}
+	ns := nsFor(g)
+	fw := core.New(rec, ns, 1234)
+	// The recommender is already fitted; Fit is idempotent for L-WD and
+	// also builds the static candidate sets.
+	if err := fw.Fit(g); err != nil {
+		return nil, err
+	}
+
+	kpCfg := kp.DefaultConfig()
+	if kpCfg.NumPositives > len(g.Valid) {
+		kpCfg.NumPositives = len(g.Valid)
+	}
+
+	res := &suiteResult{dataset: dataset, ns: ns}
+	for mi, name := range r.suiteModels(dataset) {
+		m, err := kgc.New(name, g, kgc.DefaultDim(name), int64(100+mi))
+		if err != nil {
+			return nil, err
+		}
+		run := modelRun{model: name}
+		cfg := kgc.DefaultTrainConfig()
+		cfg.Epochs = r.suiteEpochs()
+		cfg.Seed = int64(7 + mi)
+		cfg.EpochCallback = func(epoch int) bool {
+			pt := epochPoint{
+				epoch:   epoch,
+				est:     map[core.Strategy]eval.Metrics{},
+				estTime: map[core.Strategy]time.Duration{},
+				kpScore: map[core.Strategy]float64{},
+				kpTime:  map[core.Strategy]time.Duration{},
+			}
+			seed := int64(1000*mi + epoch)
+			opts := eval.Options{Filter: filter, Seed: seed}
+			full := core.FullEvaluate(m, g, g.Valid, opts)
+			pt.full, pt.fullTime = full.Metrics, full.Elapsed
+			for _, s := range core.Strategies() {
+				est := fw.Estimate(m, g, g.Valid, s, opts)
+				pt.est[s], pt.estTime[s] = est.Metrics, est.Elapsed
+
+				kpCfg := kpCfg
+				kpCfg.Seed = seed
+				kpRes := kp.Score(m, g, g.Valid, fw.Provider(s), kpCfg)
+				pt.kpScore[s], pt.kpTime[s] = kpRes.Score, kpRes.Elapsed
+			}
+			run.points = append(run.points, pt)
+			return true
+		}
+		kgc.Train(m, g, cfg)
+		run.final = m
+		res.runs = append(res.runs, run)
+	}
+	r.suites[dataset] = res
+	return res, nil
+}
+
+// series extracts per-epoch slices for correlation and error computation.
+func (run *modelRun) series(metric func(eval.Metrics) float64) (full []float64, est map[core.Strategy][]float64, kpS map[core.Strategy][]float64) {
+	est = map[core.Strategy][]float64{}
+	kpS = map[core.Strategy][]float64{}
+	for _, pt := range run.points {
+		full = append(full, metric(pt.full))
+		for _, s := range core.Strategies() {
+			est[s] = append(est[s], metric(pt.est[s]))
+			kpS[s] = append(kpS[s], pt.kpScore[s])
+		}
+	}
+	return full, est, kpS
+}
+
+// mrr is the metric accessor used by most tables.
+func mrr(m eval.Metrics) float64 { return m.MRR }
+
+// trainedModel returns the dataset's final trained model of the given name,
+// training the suite if needed.
+func (r *Runner) trainedModel(dataset, model string) (kgc.Model, *suiteResult, error) {
+	s, err := r.suite(dataset)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, run := range s.runs {
+		if run.model == model {
+			return run.final, s, nil
+		}
+	}
+	// Model not in the dataset's default suite: train it on demand.
+	ds, err := r.dataset(dataset)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := kgc.New(model, ds.Graph, kgc.DefaultDim(model), 55)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := kgc.DefaultTrainConfig()
+	cfg.Epochs = r.suiteEpochs()
+	kgc.Train(m, ds.Graph, cfg)
+	s.runs = append(s.runs, modelRun{model: model, final: m})
+	return m, s, nil
+}

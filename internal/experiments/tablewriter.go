@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// textTable renders aligned plain-text tables for experiment output.
+type textTable struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+func newTable(title string, headers ...string) *textTable {
+	return &textTable{title: title, headers: headers}
+}
+
+func (t *textTable) addRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+func (t *textTable) addRowf(format string, args ...interface{}) {
+	t.addRow(strings.Split(fmt.Sprintf(format, args...), "\t")...)
+}
+
+func (t *textTable) render(w io.Writer) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	fmt.Fprintf(w, "\n%s\n%s\n", t.title, strings.Repeat("=", len(t.title)))
+	for i, h := range t.headers {
+		fmt.Fprintf(w, "%-*s", widths[i]+2, h)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, strings.Repeat("-", total))
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) {
+				fmt.Fprintf(w, "%-*s", widths[i]+2, c)
+			} else {
+				fmt.Fprint(w, c)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}

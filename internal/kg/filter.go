@@ -1,0 +1,89 @@
+package kg
+
+import "sort"
+
+// pairKey packs two int32 ids into one map key.
+func pairKey(a, b int32) uint64 {
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
+}
+
+// FilterIndex answers "which entities are known true answers for this
+// query?" — the core of the *filtered* ranking protocol: when ranking
+// candidates for (h, r, ?), every known true tail other than the one under
+// evaluation is excluded so it cannot demote the rank.
+//
+// The index is built once over any set of splits (conventionally
+// train+valid+test) and is safe for concurrent reads.
+type FilterIndex struct {
+	tails map[uint64][]int32 // key(h,r) -> sorted known tails
+	heads map[uint64][]int32 // key(t,r) -> sorted known heads
+}
+
+// NewFilterIndex builds a FilterIndex over the union of the given splits.
+func NewFilterIndex(splits ...[]Triple) *FilterIndex {
+	f := &FilterIndex{
+		tails: make(map[uint64][]int32),
+		heads: make(map[uint64][]int32),
+	}
+	for _, split := range splits {
+		for _, t := range split {
+			tk := pairKey(t.H, t.R)
+			f.tails[tk] = append(f.tails[tk], t.T)
+			hk := pairKey(t.T, t.R)
+			f.heads[hk] = append(f.heads[hk], t.H)
+		}
+	}
+	for k, v := range f.tails {
+		f.tails[k] = sortedUnique(v)
+	}
+	for k, v := range f.heads {
+		f.heads[k] = sortedUnique(v)
+	}
+	return f
+}
+
+func sortedUnique(v []int32) []int32 {
+	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+	out := v[:0]
+	for i, x := range v {
+		if i == 0 || x != v[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Tails returns the sorted known tails for (h, r, ?). The returned slice is
+// owned by the index and must not be modified.
+func (f *FilterIndex) Tails(h, r int32) []int32 {
+	return f.tails[pairKey(h, r)]
+}
+
+// Heads returns the sorted known heads for (?, r, t). The returned slice is
+// owned by the index and must not be modified.
+func (f *FilterIndex) Heads(r, t int32) []int32 {
+	return f.heads[pairKey(t, r)]
+}
+
+// IsKnownTail reports whether (h, r, t) is a known positive triple.
+func (f *FilterIndex) IsKnownTail(h, r, t int32) bool {
+	return contains(f.tails[pairKey(h, r)], t)
+}
+
+// IsKnownHead reports whether (h, r, t) is a known positive triple, looked
+// up from the head side.
+func (f *FilterIndex) IsKnownHead(h, r, t int32) bool {
+	return contains(f.heads[pairKey(t, r)], h)
+}
+
+func contains(sorted []int32, x int32) bool {
+	i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= x })
+	return i < len(sorted) && sorted[i] == x
+}
+
+// NumQueries returns the number of distinct (h,r)- and (r,t)-pairs indexed,
+// i.e. the number of distinct ranking queries a per-query candidate
+// generator would need to sample for (Table 3 of the paper).
+func (f *FilterIndex) NumQueries() (hrPairs, rtPairs int) {
+	return len(f.tails), len(f.heads)
+}

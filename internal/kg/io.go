@@ -1,0 +1,106 @@
+package kg
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteTriplesTSV writes triples as tab-separated "h\tr\tt" integer lines.
+func WriteTriplesTSV(w io.Writer, triples []Triple) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range triples {
+		if _, err := fmt.Fprintf(bw, "%d\t%d\t%d\n", t.H, t.R, t.T); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTriplesTSV parses tab-separated "h\tr\tt" integer lines. Blank lines
+// and lines starting with '#' are skipped.
+func ReadTriplesTSV(r io.Reader) ([]Triple, error) {
+	var out []Triple
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("kg: line %d: want 3 tab-separated fields, got %d", lineNo, len(fields))
+		}
+		var vals [3]int64
+		for i, f := range fields {
+			v, err := strconv.ParseInt(strings.TrimSpace(f), 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("kg: line %d field %d: %v", lineNo, i+1, err)
+			}
+			vals[i] = v
+		}
+		out = append(out, Triple{H: int32(vals[0]), R: int32(vals[1]), T: int32(vals[2])})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WriteTypesTSV writes the entity→types assignment as "entity\ttype" lines,
+// one line per (entity, type) pair.
+func WriteTypesTSV(w io.Writer, entityTypes [][]int32) error {
+	bw := bufio.NewWriter(w)
+	for e, ts := range entityTypes {
+		for _, t := range ts {
+			if _, err := fmt.Fprintf(bw, "%d\t%d\n", e, t); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTypesTSV parses "entity\ttype" lines into a per-entity type list with
+// numEntities rows. Type lists are sorted and deduplicated.
+func ReadTypesTSV(r io.Reader, numEntities int) ([][]int32, error) {
+	out := make([][]int32, numEntities)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("kg: types line %d: want 2 fields, got %d", lineNo, len(fields))
+		}
+		e, err := strconv.ParseInt(strings.TrimSpace(fields[0]), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("kg: types line %d: %v", lineNo, err)
+		}
+		t, err := strconv.ParseInt(strings.TrimSpace(fields[1]), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("kg: types line %d: %v", lineNo, err)
+		}
+		if e < 0 || int(e) >= numEntities {
+			return nil, fmt.Errorf("kg: types line %d: entity %d out of range", lineNo, e)
+		}
+		out[e] = append(out[e], int32(t))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for e := range out {
+		out[e] = sortedUnique(out[e])
+	}
+	return out, nil
+}

@@ -1,0 +1,310 @@
+package kg
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func smallGraph() *Graph {
+	return &Graph{
+		Name:         "toy",
+		NumEntities:  6,
+		NumRelations: 3,
+		NumTypes:     2,
+		Train: []Triple{
+			{0, 0, 1}, {1, 0, 2}, {2, 1, 3}, {3, 2, 4}, {0, 1, 5},
+		},
+		Valid: []Triple{{1, 1, 3}},
+		Test:  []Triple{{0, 0, 2}, {4, 2, 5}},
+		EntityTypes: [][]int32{
+			{0}, {0}, {0, 1}, {1}, {1}, {},
+		},
+	}
+}
+
+func TestGraphValidateOK(t *testing.T) {
+	if err := smallGraph().Validate(); err != nil {
+		t.Fatalf("Validate() = %v, want nil", err)
+	}
+}
+
+func TestGraphValidateErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Graph)
+	}{
+		{"head out of range", func(g *Graph) { g.Train[0].H = 99 }},
+		{"negative head", func(g *Graph) { g.Train[0].H = -1 }},
+		{"tail out of range", func(g *Graph) { g.Test[0].T = 99 }},
+		{"relation out of range", func(g *Graph) { g.Valid[0].R = 99 }},
+		{"type rows mismatch", func(g *Graph) { g.EntityTypes = g.EntityTypes[:2] }},
+		{"type id out of range", func(g *Graph) { g.EntityTypes[0] = []int32{7} }},
+		{"unsorted type list", func(g *Graph) { g.EntityTypes[2] = []int32{1, 0} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := smallGraph()
+			tc.mutate(g)
+			if err := g.Validate(); err == nil {
+				t.Fatal("Validate() = nil, want error")
+			}
+		})
+	}
+}
+
+func TestNumTriplesAndAllTriples(t *testing.T) {
+	g := smallGraph()
+	if got, want := g.NumTriples(), 8; got != want {
+		t.Fatalf("NumTriples() = %d, want %d", got, want)
+	}
+	all := g.AllTriples()
+	if len(all) != 8 {
+		t.Fatalf("AllTriples() len = %d, want 8", len(all))
+	}
+	// Must be a copy: mutating it must not affect the graph.
+	all[0].H = 99
+	if g.Train[0].H == 99 {
+		t.Fatal("AllTriples() aliases the underlying split")
+	}
+}
+
+func TestHasType(t *testing.T) {
+	g := smallGraph()
+	cases := []struct {
+		e, ty int32
+		want  bool
+	}{
+		{0, 0, true}, {0, 1, false}, {2, 0, true}, {2, 1, true}, {5, 0, false}, {4, 1, true},
+	}
+	for _, c := range cases {
+		if got := g.HasType(c.e, c.ty); got != c.want {
+			t.Errorf("HasType(%d,%d) = %v, want %v", c.e, c.ty, got, c.want)
+		}
+	}
+	untyped := &Graph{NumEntities: 2}
+	if untyped.HasType(0, 0) {
+		t.Error("HasType on untyped graph = true, want false")
+	}
+}
+
+func TestTypeMembers(t *testing.T) {
+	g := smallGraph()
+	members := g.TypeMembers()
+	want := [][]int32{{0, 1, 2}, {2, 3, 4}}
+	if !reflect.DeepEqual(members, want) {
+		t.Fatalf("TypeMembers() = %v, want %v", members, want)
+	}
+}
+
+func TestDedupTriples(t *testing.T) {
+	ts := []Triple{{1, 0, 2}, {0, 0, 1}, {1, 0, 2}, {0, 0, 1}, {2, 1, 0}}
+	got := DedupTriples(ts)
+	want := []Triple{{0, 0, 1}, {1, 0, 2}, {2, 1, 0}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("DedupTriples = %v, want %v", got, want)
+	}
+}
+
+func TestSortTriplesProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ts := make([]Triple, int(n))
+		for i := range ts {
+			ts[i] = Triple{int32(rng.Intn(10)), int32(rng.Intn(4)), int32(rng.Intn(10))}
+		}
+		SortTriples(ts)
+		return sort.SliceIsSorted(ts, func(i, j int) bool {
+			a, b := ts[i], ts[j]
+			if a.R != b.R {
+				return a.R < b.R
+			}
+			if a.H != b.H {
+				return a.H < b.H
+			}
+			return a.T < b.T
+		})
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFilterIndex(t *testing.T) {
+	g := smallGraph()
+	f := NewFilterIndex(g.Train, g.Valid, g.Test)
+
+	if got := f.Tails(0, 0); !reflect.DeepEqual(got, []int32{1, 2}) {
+		t.Fatalf("Tails(0,0) = %v, want [1 2]", got)
+	}
+	if got := f.Heads(1, 3); !reflect.DeepEqual(got, []int32{1, 2}) {
+		t.Fatalf("Heads(1,3) = %v, want [1 2]", got)
+	}
+	if !f.IsKnownTail(0, 0, 2) {
+		t.Error("IsKnownTail(0,0,2) = false, want true (test split must be indexed)")
+	}
+	if f.IsKnownTail(0, 0, 3) {
+		t.Error("IsKnownTail(0,0,3) = true, want false")
+	}
+	if !f.IsKnownHead(2, 1, 3) {
+		t.Error("IsKnownHead(2,1,3): (2,1,3) in train, want true")
+	}
+	if f.IsKnownHead(5, 1, 3) {
+		t.Error("IsKnownHead for absent triple = true, want false")
+	}
+	hr, rt := f.NumQueries()
+	if hr == 0 || rt == 0 {
+		t.Fatalf("NumQueries() = (%d,%d), want nonzero", hr, rt)
+	}
+}
+
+// Property: every triple indexed is found; no triple not indexed is found.
+func TestFilterIndexProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 30 + rng.Intn(50)
+		ts := make([]Triple, n)
+		present := make(map[Triple]bool)
+		for i := range ts {
+			ts[i] = Triple{int32(rng.Intn(12)), int32(rng.Intn(3)), int32(rng.Intn(12))}
+			present[ts[i]] = true
+		}
+		idx := NewFilterIndex(ts)
+		for tr := range present {
+			if !idx.IsKnownTail(tr.H, tr.R, tr.T) || !idx.IsKnownHead(tr.H, tr.R, tr.T) {
+				return false
+			}
+		}
+		// Probe random absent triples.
+		for i := 0; i < 50; i++ {
+			tr := Triple{int32(rng.Intn(12)), int32(rng.Intn(3)), int32(rng.Intn(12))}
+			if present[tr] {
+				continue
+			}
+			if idx.IsKnownTail(tr.H, tr.R, tr.T) || idx.IsKnownHead(tr.H, tr.R, tr.T) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistinctQueryPairs(t *testing.T) {
+	ts := []Triple{{0, 0, 1}, {0, 0, 2}, {1, 0, 2}, {0, 1, 1}}
+	hr, rt := DistinctQueryPairs(ts)
+	// (h,r): (0,0), (1,0), (0,1) => 3 ; (r,t): (0,1), (0,2), (1,1) => 3
+	if hr != 3 || rt != 3 {
+		t.Fatalf("DistinctQueryPairs = (%d,%d), want (3,3)", hr, rt)
+	}
+}
+
+func TestDistinctRelations(t *testing.T) {
+	ts := []Triple{{0, 0, 1}, {0, 2, 2}, {1, 0, 2}}
+	if got := DistinctRelations(ts); got != 2 {
+		t.Fatalf("DistinctRelations = %d, want 2", got)
+	}
+}
+
+func TestEntityDegrees(t *testing.T) {
+	ts := []Triple{{0, 0, 1}, {1, 0, 2}, {0, 1, 2}}
+	deg := EntityDegrees(ts, 4)
+	want := []int{2, 2, 2, 0}
+	if !reflect.DeepEqual(deg, want) {
+		t.Fatalf("EntityDegrees = %v, want %v", deg, want)
+	}
+}
+
+func TestDomainsRanges(t *testing.T) {
+	ts := []Triple{{0, 0, 1}, {2, 0, 1}, {0, 0, 3}, {4, 1, 5}}
+	d, r := DomainsRanges(ts, 2)
+	if !reflect.DeepEqual(d[0], []int32{0, 2}) || !reflect.DeepEqual(r[0], []int32{1, 3}) {
+		t.Fatalf("relation 0: domain=%v range=%v", d[0], r[0])
+	}
+	if !reflect.DeepEqual(d[1], []int32{4}) || !reflect.DeepEqual(r[1], []int32{5}) {
+		t.Fatalf("relation 1: domain=%v range=%v", d[1], r[1])
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	g := smallGraph()
+	s := ComputeStats(g)
+	if s.NumEntities != 6 || s.NumRelations != 3 || s.NumTypes != 2 {
+		t.Fatalf("stats sizes wrong: %+v", s)
+	}
+	if s.Train != 5 || s.Valid != 1 || s.Test != 2 {
+		t.Fatalf("stats split sizes wrong: %+v", s)
+	}
+	if s.NumTypePairs != 6 {
+		t.Fatalf("NumTypePairs = %d, want 6", s.NumTypePairs)
+	}
+	if s.TrainPairs == 0 || s.TestPairs == 0 {
+		t.Fatalf("pair counts must be nonzero: %+v", s)
+	}
+}
+
+func TestTriplesTSVRoundTrip(t *testing.T) {
+	in := []Triple{{0, 0, 1}, {5, 2, 3}, {100, 7, 100}}
+	var buf bytes.Buffer
+	if err := WriteTriplesTSV(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadTriplesTSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip = %v, want %v", out, in)
+	}
+}
+
+func TestReadTriplesTSVErrors(t *testing.T) {
+	cases := []string{
+		"1\t2\n",                        // too few fields
+		"1\t2\t3\t4\n",                  // too many fields
+		"a\t2\t3\n",                     // non-integer
+		"1\t2\t999999999999999999999\n", // overflow
+	}
+	for _, in := range cases {
+		if _, err := ReadTriplesTSV(bytes.NewBufferString(in)); err == nil {
+			t.Errorf("ReadTriplesTSV(%q): want error, got nil", in)
+		}
+	}
+	// Comments and blank lines are fine.
+	got, err := ReadTriplesTSV(bytes.NewBufferString("# c\n\n1\t2\t3\n"))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("ReadTriplesTSV with comments = %v, %v", got, err)
+	}
+}
+
+func TestTypesTSVRoundTrip(t *testing.T) {
+	in := [][]int32{{0, 1}, {}, {2}}
+	var buf bytes.Buffer
+	if err := WriteTypesTSV(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadTypesTSV(&buf, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out[0], []int32{0, 1}) || len(out[1]) != 0 || !reflect.DeepEqual(out[2], []int32{2}) {
+		t.Fatalf("round trip = %v, want %v", out, in)
+	}
+}
+
+func TestReadTypesTSVErrors(t *testing.T) {
+	if _, err := ReadTypesTSV(bytes.NewBufferString("5\t0\n"), 3); err == nil {
+		t.Error("entity out of range: want error")
+	}
+	if _, err := ReadTypesTSV(bytes.NewBufferString("1\n"), 3); err == nil {
+		t.Error("too few fields: want error")
+	}
+	if _, err := ReadTypesTSV(bytes.NewBufferString("x\t0\n"), 3); err == nil {
+		t.Error("non-integer: want error")
+	}
+}

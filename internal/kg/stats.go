@@ -1,0 +1,86 @@
+package kg
+
+// Stats summarizes a graph in the shape of the paper's Table 4.
+type Stats struct {
+	Name         string
+	NumEntities  int
+	NumRelations int
+	NumTypes     int
+	NumTypePairs int // |TS|: total (entity, type) assignments
+	Train        int
+	Valid        int
+	Test         int
+	TrainPairs   int // distinct (h,r) + (r,t) pairs in train
+	TestPairs    int // distinct (h,r) + (r,t) pairs in test
+}
+
+// ComputeStats derives Table-4-style statistics from a graph.
+func ComputeStats(g *Graph) Stats {
+	s := Stats{
+		Name:         g.Name,
+		NumEntities:  g.NumEntities,
+		NumRelations: g.NumRelations,
+		NumTypes:     g.NumTypes,
+		Train:        len(g.Train),
+		Valid:        len(g.Valid),
+		Test:         len(g.Test),
+	}
+	for _, ts := range g.EntityTypes {
+		s.NumTypePairs += len(ts)
+	}
+	hr, rt := DistinctQueryPairs(g.Train)
+	s.TrainPairs = hr + rt
+	hr, rt = DistinctQueryPairs(g.Test)
+	s.TestPairs = hr + rt
+	return s
+}
+
+// DistinctQueryPairs counts the distinct (h,r)- and (r,t)-pairs in a split.
+// Each such pair is one ranking query in the standard protocol, and one
+// sampling event for an entity-aware candidate generator (Table 3).
+func DistinctQueryPairs(triples []Triple) (hrPairs, rtPairs int) {
+	hr := make(map[uint64]struct{}, len(triples))
+	rt := make(map[uint64]struct{}, len(triples))
+	for _, t := range triples {
+		hr[pairKey(t.H, t.R)] = struct{}{}
+		rt[pairKey(t.T, t.R)] = struct{}{}
+	}
+	return len(hr), len(rt)
+}
+
+// DistinctRelations counts the relations that actually appear in a split.
+func DistinctRelations(triples []Triple) int {
+	seen := make(map[int32]struct{})
+	for _, t := range triples {
+		seen[t.R] = struct{}{}
+	}
+	return len(seen)
+}
+
+// EntityDegrees returns, for each entity, the number of triples it
+// participates in (as head or tail) across the given triples.
+func EntityDegrees(triples []Triple, numEntities int) []int {
+	deg := make([]int, numEntities)
+	for _, t := range triples {
+		deg[t.H]++
+		deg[t.T]++
+	}
+	return deg
+}
+
+// DomainsRanges extracts, from a set of triples, the observed domain (head
+// set) and range (tail set) of every relation, as sorted unique entity id
+// lists. This is the PseudoTyped (PT) view of the graph.
+func DomainsRanges(triples []Triple, numRelations int) (domains, ranges [][]int32) {
+	domains = make([][]int32, numRelations)
+	ranges = make([][]int32, numRelations)
+	for _, t := range triples {
+		domains[t.R] = append(domains[t.R], t.H)
+		ranges[t.R] = append(ranges[t.R], t.T)
+	}
+	for r := 0; r < numRelations; r++ {
+		domains[r] = sortedUnique(domains[r])
+		ranges[r] = sortedUnique(ranges[r])
+	}
+	return domains, ranges
+}

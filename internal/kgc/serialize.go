@@ -1,0 +1,190 @@
+package kgc
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Model persistence: a small versioned binary format so trained models can
+// be saved once and re-evaluated many times (the workflow behind the
+// paper's ogbl-wikikg2 experiment, which evaluates *pretrained* ComplEx
+// embeddings). Only the embedding-table models round-trip; ConvE's BN
+// statistics are included via its table list.
+
+const serializeMagic = "KGEVALM1"
+
+// tableSet is implemented by models that expose their parameter tables for
+// serialization.
+type tableSet interface {
+	tables() []*table
+}
+
+func (m *TransE) tables() []*table   { return []*table{m.ent, m.rel} }
+func (m *DistMult) tables() []*table { return []*table{m.ent, m.rel} }
+func (m *ComplEx) tables() []*table  { return []*table{m.ent, m.rel} }
+func (m *RESCAL) tables() []*table   { return []*table{m.ent, m.rel} }
+func (m *RotatE) tables() []*table   { return []*table{m.ent, m.rel} }
+func (m *TuckER) tables() []*table   { return []*table{m.ent, m.rel, m.core} }
+func (m *ConvE) tables() []*table {
+	return []*table{m.ent, m.entBias, m.rel, m.kern, m.kernB, m.fc, m.fcB}
+}
+
+// extraFloats lets a model persist non-table state (ConvE's BN statistics).
+func modelExtras(m Model) []*[]float64 {
+	if c, ok := m.(*ConvE); ok {
+		return []*[]float64{&c.bnConvMean, &c.bnConvVar, &c.bnFCMean, &c.bnFCVar}
+	}
+	return nil
+}
+
+// Save writes the model's parameters to w. The receiver's architecture
+// (name, dimensions, table shapes) is not stored beyond a consistency
+// fingerprint: Load must be called on a model constructed with the same
+// constructor arguments.
+func Save(w io.Writer, m Model) error {
+	ts, ok := m.(tableSet)
+	if !ok {
+		return fmt.Errorf("kgc: model %s does not support serialization", m.Name())
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(serializeMagic); err != nil {
+		return err
+	}
+	writeString(bw, m.Name())
+	tables := ts.tables()
+	writeU64(bw, uint64(len(tables)))
+	for _, t := range tables {
+		writeU64(bw, uint64(len(t.w)))
+		for _, v := range t.w {
+			writeF64(bw, v)
+		}
+	}
+	extras := modelExtras(m)
+	writeU64(bw, uint64(len(extras)))
+	for _, e := range extras {
+		writeU64(bw, uint64(len(*e)))
+		for _, v := range *e {
+			writeF64(bw, v)
+		}
+	}
+	return bw.Flush()
+}
+
+// Load restores parameters saved by Save into m, which must have been
+// constructed with the same architecture (model name and table shapes).
+func Load(r io.Reader, m Model) error {
+	ts, ok := m.(tableSet)
+	if !ok {
+		return fmt.Errorf("kgc: model %s does not support serialization", m.Name())
+	}
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(serializeMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return fmt.Errorf("kgc: reading magic: %w", err)
+	}
+	if string(magic) != serializeMagic {
+		return fmt.Errorf("kgc: bad magic %q", magic)
+	}
+	name, err := readString(br)
+	if err != nil {
+		return err
+	}
+	if name != m.Name() {
+		return fmt.Errorf("kgc: checkpoint is for %s, model is %s", name, m.Name())
+	}
+	tables := ts.tables()
+	n, err := readU64(br)
+	if err != nil {
+		return err
+	}
+	if int(n) != len(tables) {
+		return fmt.Errorf("kgc: checkpoint has %d tables, model has %d", n, len(tables))
+	}
+	for i, t := range tables {
+		ln, err := readU64(br)
+		if err != nil {
+			return err
+		}
+		if int(ln) != len(t.w) {
+			return fmt.Errorf("kgc: table %d has %d params in checkpoint, %d in model", i, ln, len(t.w))
+		}
+		for j := range t.w {
+			v, err := readF64(br)
+			if err != nil {
+				return err
+			}
+			t.w[j] = v
+		}
+	}
+	extras := modelExtras(m)
+	ne, err := readU64(br)
+	if err != nil {
+		return err
+	}
+	if int(ne) != len(extras) {
+		return fmt.Errorf("kgc: checkpoint has %d extras, model has %d", ne, len(extras))
+	}
+	for i, e := range extras {
+		ln, err := readU64(br)
+		if err != nil {
+			return err
+		}
+		if int(ln) != len(*e) {
+			return fmt.Errorf("kgc: extra %d length mismatch", i)
+		}
+		for j := range *e {
+			v, err := readF64(br)
+			if err != nil {
+				return err
+			}
+			(*e)[j] = v
+		}
+	}
+	return nil
+}
+
+func writeU64(w io.Writer, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	w.Write(buf[:]) //nolint:errcheck // bufio defers errors to Flush
+}
+
+func writeF64(w io.Writer, v float64) {
+	writeU64(w, math.Float64bits(v))
+}
+
+func writeString(w io.Writer, s string) {
+	writeU64(w, uint64(len(s)))
+	io.WriteString(w, s) //nolint:errcheck // bufio defers errors to Flush
+}
+
+func readU64(r io.Reader) (uint64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(buf[:]), nil
+}
+
+func readF64(r io.Reader) (float64, error) {
+	v, err := readU64(r)
+	return math.Float64frombits(v), err
+}
+
+func readString(r io.Reader) (string, error) {
+	n, err := readU64(r)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("kgc: implausible string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,97 @@
+package kgc
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSaveLoadRoundTripAllModels(t *testing.T) {
+	g := trainGraph(t)
+	for _, name := range ModelNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			m, err := New(name, g, 8, 31)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := DefaultTrainConfig()
+			cfg.Epochs = 1
+			Train(m, g, cfg)
+
+			var buf bytes.Buffer
+			if err := Save(&buf, m); err != nil {
+				t.Fatalf("Save: %v", err)
+			}
+
+			// Fresh model with a different seed: parameters differ until Load.
+			m2, err := New(name, g, 8, 99)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := g.Train[0]
+			if m.ScoreTriple(tr.H, tr.R, tr.T) == m2.ScoreTriple(tr.H, tr.R, tr.T) {
+				t.Fatal("fresh model coincidentally equal — test would be vacuous")
+			}
+			if err := Load(bytes.NewReader(buf.Bytes()), m2); err != nil {
+				t.Fatalf("Load: %v", err)
+			}
+			for _, tr := range g.Train[:50] {
+				a := m.ScoreTriple(tr.H, tr.R, tr.T)
+				b := m2.ScoreTriple(tr.H, tr.R, tr.T)
+				if a != b {
+					t.Fatalf("score mismatch after load: %v vs %v", a, b)
+				}
+			}
+		})
+	}
+}
+
+func TestLoadRejectsWrongModel(t *testing.T) {
+	g := trainGraph(t)
+	m := NewDistMult(g, 8, 1)
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	other := NewTransE(g, 8, 1)
+	if err := Load(bytes.NewReader(buf.Bytes()), other); err == nil {
+		t.Fatal("loading DistMult checkpoint into TransE must fail")
+	}
+}
+
+func TestLoadRejectsWrongShape(t *testing.T) {
+	g := trainGraph(t)
+	m := NewDistMult(g, 8, 1)
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	bigger := NewDistMult(g, 16, 1)
+	if err := Load(bytes.NewReader(buf.Bytes()), bigger); err == nil {
+		t.Fatal("loading dim-8 checkpoint into dim-16 model must fail")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	g := trainGraph(t)
+	m := NewDistMult(g, 8, 1)
+	if err := Load(bytes.NewReader([]byte("not a checkpoint at all")), m); err == nil {
+		t.Fatal("garbage input must fail")
+	}
+	if err := Load(bytes.NewReader(nil), m); err == nil {
+		t.Fatal("empty input must fail")
+	}
+}
+
+func TestSaveLoadTruncated(t *testing.T) {
+	g := trainGraph(t)
+	m := NewDistMult(g, 8, 1)
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if err := Load(bytes.NewReader(raw[:len(raw)/2]), NewDistMult(g, 8, 2)); err == nil {
+		t.Fatal("truncated checkpoint must fail")
+	}
+}

@@ -1,0 +1,140 @@
+package kgc
+
+import (
+	"math/rand"
+
+	"kgeval/internal/kg"
+)
+
+// NegativeSampler supplies corruption candidates during training. The
+// paper's §7 future-work item — using relation recommenders as negative
+// sample probabilities during training — is implemented by
+// core.RecNegativeSampler; nil means uniform corruption.
+type NegativeSampler interface {
+	// SampleTail draws a tail-corruption candidate for relation r.
+	SampleTail(r int32, rng *rand.Rand) int32
+	// SampleHead draws a head-corruption candidate for relation r.
+	SampleHead(r int32, rng *rand.Rand) int32
+}
+
+// TrainConfig controls the negative-sampling trainer.
+type TrainConfig struct {
+	Epochs     int     // passes over the training split
+	LR         float64 // Adagrad learning rate
+	NegSamples int     // corrupted triples per positive
+	Margin     float64 // margin for LossMargin models
+	Seed       int64
+	// Negatives overrides uniform corruption when non-nil.
+	Negatives NegativeSampler
+	// EpochCallback, when non-nil, runs after each epoch (1-based); the
+	// correlation experiments evaluate the model here. Returning false
+	// stops training early.
+	EpochCallback func(epoch int) bool
+}
+
+// DefaultTrainConfig returns sensible defaults for the synthetic datasets.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Epochs: 15, LR: 0.1, NegSamples: 4, Margin: 2, Seed: 1}
+}
+
+// DefaultDim returns a per-model embedding size that keeps each model's
+// per-step cost comparable: models with O(d²)/O(d³) interaction terms get
+// smaller d, as in the original implementations (TuckER's d_r ≪ d_e, etc.).
+func DefaultDim(model string) int {
+	switch model {
+	case "RESCAL":
+		return 16
+	case "TuckER":
+		return 10
+	case "ConvE":
+		return 16
+	default:
+		return 32
+	}
+}
+
+// Train fits the model on g.Train with uniform negative sampling. For
+// reciprocal models (ConvE) each triple is presented in both directions with
+// tail-only corruption; all other models get head- and tail-corruption.
+func Train(m Trainable, g *kg.Graph, cfg TrainConfig) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	loss := m.defaultLoss()
+	triples := append([]kg.Triple(nil), g.Train...)
+	nrel := int32(m.numRelations())
+	n := int32(g.NumEntities)
+
+	drawHead := func(r int32) int32 {
+		if cfg.Negatives != nil {
+			return cfg.Negatives.SampleHead(r, rng)
+		}
+		return rng.Int31n(n)
+	}
+	drawTail := func(r int32) int32 {
+		if cfg.Negatives != nil {
+			return cfg.Negatives.SampleTail(r, rng)
+		}
+		return rng.Int31n(n)
+	}
+
+	trainOne := func(h, r, t int32, corruptHead bool) {
+		switch loss {
+		case LossLogistic:
+			sPos := m.ScoreTriple(h, r, t)
+			m.gradStep(h, r, t, sigmoid(sPos)-1, cfg.LR)
+			for k := 0; k < cfg.NegSamples; k++ {
+				nh, nt := h, t
+				if corruptHead && k%2 == 1 {
+					nh = drawHead(r)
+					if nh == h {
+						continue
+					}
+				} else {
+					nt = drawTail(r)
+					if nt == t {
+						continue
+					}
+				}
+				sNeg := m.ScoreTriple(nh, r, nt)
+				m.gradStep(nh, r, nt, sigmoid(sNeg), cfg.LR)
+			}
+		case LossMargin:
+			sPos := m.ScoreTriple(h, r, t)
+			for k := 0; k < cfg.NegSamples; k++ {
+				nh, nt := h, t
+				if corruptHead && k%2 == 1 {
+					nh = drawHead(r)
+					if nh == h {
+						continue
+					}
+				} else {
+					nt = drawTail(r)
+					if nt == t {
+						continue
+					}
+				}
+				sNeg := m.ScoreTriple(nh, r, nt)
+				if cfg.Margin-sPos+sNeg > 0 {
+					m.gradStep(h, r, t, -1, cfg.LR)
+					m.gradStep(nh, r, nt, 1, cfg.LR)
+				}
+			}
+		}
+	}
+
+	for epoch := 1; epoch <= cfg.Epochs; epoch++ {
+		rng.Shuffle(len(triples), func(i, j int) { triples[i], triples[j] = triples[j], triples[i] })
+		for _, tr := range triples {
+			if m.reciprocal() {
+				// Tail corruption in both directions covers head queries.
+				trainOne(tr.H, tr.R, tr.T, false)
+				trainOne(tr.T, tr.R+int32(g.NumRelations), tr.H, false)
+				_ = nrel
+			} else {
+				trainOne(tr.H, tr.R, tr.T, true)
+			}
+		}
+		if cfg.EpochCallback != nil && !cfg.EpochCallback(epoch) {
+			return
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package recommender
+
+import (
+	"math"
+	"sort"
+
+	"kgeval/internal/kg"
+)
+
+// CandidateSets holds the discretized ("Static") per-column candidate sets:
+// for every domain/range column, the narrow entity set obtained by
+// thresholding the score matrix, optimized for the Candidate-Recall /
+// Reduction-Rate trade-off (§4.1).
+type CandidateSets struct {
+	NumEntities  int
+	NumRelations int
+	Sets         [][]int32 // len 2·|R|, each sorted ascending
+	Thresholds   []float64 // chosen per-column score threshold T_dr
+}
+
+// StaticOpts configures BuildStatic.
+type StaticOpts struct {
+	// IncludeSeen unions each set with the train-observed (PT) members, the
+	// paper's "practical scenario where one naturally would do this".
+	IncludeSeen bool
+}
+
+// DefaultStaticOpts matches the paper's setup.
+func DefaultStaticOpts() StaticOpts { return StaticOpts{IncludeSeen: true} }
+
+// BuildStatic discretizes a score matrix into candidate sets. For each
+// column it sweeps thresholds over the column's distinct scores and keeps
+// the one whose (CR, RR) point — recall over the train-observed members and
+// fraction of entities filtered out — minimizes the l2 distance to the
+// optimum (1, 1).
+func BuildStatic(s *ScoreMatrix, g *kg.Graph, opts StaticOpts) *CandidateSets {
+	numCols := 2 * s.NumRelations
+	cs := &CandidateSets{
+		NumEntities:  s.NumEntities,
+		NumRelations: s.NumRelations,
+		Sets:         make([][]int32, numCols),
+		Thresholds:   make([]float64, numCols),
+	}
+	domains, ranges := kg.DomainsRanges(g.Train, g.NumRelations)
+	known := func(col int) []int32 {
+		if col < s.NumRelations {
+			return domains[col]
+		}
+		return ranges[col-s.NumRelations]
+	}
+	for col := 0; col < numCols; col++ {
+		ids, scores := s.Column(col)
+		thr := optimalThreshold(ids, scores, known(col), s.NumEntities)
+		cs.Thresholds[col] = thr
+		var set []int32
+		for i, id := range ids {
+			if scores[i] >= thr {
+				set = append(set, id)
+			}
+		}
+		if opts.IncludeSeen {
+			set = append(set, known(col)...)
+		}
+		cs.Sets[col] = dedupSorted(set)
+	}
+	return cs
+}
+
+// optimalThreshold picks, among the distinct score values of a column, the
+// threshold minimizing √((1−CR)² + (1−RR)²), where CR is recall over the
+// knownMembers and RR = 1 − |set|/|E|.
+func optimalThreshold(ids []int32, scores []float64, knownMembers []int32, numEntities int) float64 {
+	if len(ids) == 0 {
+		return math.Inf(1)
+	}
+	type cand struct {
+		score float64
+		known bool
+	}
+	knownSet := make(map[int32]bool, len(knownMembers))
+	for _, m := range knownMembers {
+		knownSet[m] = true
+	}
+	cands := make([]cand, len(ids))
+	for i, id := range ids {
+		cands[i] = cand{score: scores[i], known: knownSet[id]}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].score > cands[j].score })
+
+	bestThr := math.Inf(1)
+	bestDist := math.Inf(1)
+	// Distance of the empty set: CR=0 (or 1 if nothing is known), RR=1.
+	{
+		cr := 0.0
+		if len(knownMembers) == 0 {
+			cr = 1
+		}
+		bestDist = (1 - cr) * (1 - cr)
+	}
+	kept, knownKept := 0, 0
+	for i := 0; i < len(cands); {
+		// Extend through all candidates tied at this score.
+		thr := cands[i].score
+		for i < len(cands) && cands[i].score == thr {
+			kept++
+			if cands[i].known {
+				knownKept++
+			}
+			i++
+		}
+		cr := 1.0
+		if len(knownMembers) > 0 {
+			cr = float64(knownKept) / float64(len(knownMembers))
+		}
+		rr := 1 - float64(kept)/float64(numEntities)
+		dist := (1-cr)*(1-cr) + (1-rr)*(1-rr)
+		if dist < bestDist {
+			bestDist = dist
+			bestThr = thr
+		}
+	}
+	return bestThr
+}
+
+func dedupSorted(xs []int32) []int32 {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Contains reports whether entity e is in column col's candidate set.
+func (cs *CandidateSets) Contains(col int, e int32) bool {
+	set := cs.Sets[col]
+	i := sort.Search(len(set), func(i int) bool { return set[i] >= e })
+	return i < len(set) && set[i] == e
+}
+
+// SetSize returns the size of column col's candidate set.
+func (cs *CandidateSets) SetSize(col int) int { return len(cs.Sets[col]) }

@@ -1,0 +1,183 @@
+// Package sample provides the deterministic sampling primitives used by the
+// evaluation framework: uniform and weighted sampling without replacement,
+// plus an alias table for weighted sampling with replacement.
+//
+// All functions take an explicit *rand.Rand so that every experiment in the
+// repository is reproducible from a seed.
+package sample
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+)
+
+// Uniform draws k distinct integers from [0, n) uniformly at random using
+// Floyd's algorithm (O(k) expected time, O(k) space). If k >= n, all of
+// [0, n) is returned in shuffled order.
+func Uniform(rng *rand.Rand, n, k int) []int32 {
+	if k >= n {
+		out := make([]int32, n)
+		for i := range out {
+			out[i] = int32(i)
+		}
+		rng.Shuffle(n, func(i, j int) { out[i], out[j] = out[j], out[i] })
+		return out
+	}
+	chosen := make(map[int32]struct{}, k)
+	out := make([]int32, 0, k)
+	for j := n - k; j < n; j++ {
+		t := int32(rng.Intn(j + 1))
+		if _, ok := chosen[t]; ok {
+			t = int32(j)
+		}
+		chosen[t] = struct{}{}
+		out = append(out, t)
+	}
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// UniformFromSet draws min(k, len(set)) distinct elements from set uniformly
+// at random. The input slice is not modified.
+func UniformFromSet(rng *rand.Rand, set []int32, k int) []int32 {
+	idx := Uniform(rng, len(set), k)
+	out := make([]int32, len(idx))
+	for i, j := range idx {
+		out[i] = set[j]
+	}
+	return out
+}
+
+// weightedItem is a candidate with its Efraimidis–Spirakis key.
+type weightedItem struct {
+	id  int32
+	key float64
+}
+
+// keyHeap is a min-heap over keys, keeping the k largest keys seen.
+type keyHeap []weightedItem
+
+func (h keyHeap) Len() int            { return len(h) }
+func (h keyHeap) Less(i, j int) bool  { return h[i].key < h[j].key }
+func (h keyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *keyHeap) Push(x interface{}) { *h = append(*h, x.(weightedItem)) }
+func (h *keyHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Weighted draws up to k items without replacement with probability
+// proportional to their weights, using the Efraimidis–Spirakis scheme: each
+// item i gets key uᵢ^(1/wᵢ) for uᵢ ~ U(0,1) and the k largest keys win.
+// Items with non-positive weight are never selected. ids[i] pairs with
+// weights[i]; pass nil ids to mean ids[i] = i.
+//
+// Runs in O(n log k); this is what makes the Probabilistic sampling strategy
+// cost only 2·|R| sampling passes per evaluation.
+func Weighted(rng *rand.Rand, ids []int32, weights []float64, k int) []int32 {
+	if k <= 0 {
+		return nil
+	}
+	h := make(keyHeap, 0, k)
+	for i, w := range weights {
+		if w <= 0 || math.IsNaN(w) {
+			continue
+		}
+		// key = u^(1/w); computed in log space for numerical stability:
+		// log key = log(u)/w, and log is monotone, so compare log keys.
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		key := math.Log(u) / w
+		var id int32
+		if ids == nil {
+			id = int32(i)
+		} else {
+			id = ids[i]
+		}
+		if len(h) < k {
+			heap.Push(&h, weightedItem{id: id, key: key})
+		} else if key > h[0].key {
+			h[0] = weightedItem{id: id, key: key}
+			heap.Fix(&h, 0)
+		}
+	}
+	out := make([]int32, len(h))
+	for i, it := range h {
+		out[i] = it.id
+	}
+	return out
+}
+
+// Alias is a Walker alias table for O(1) weighted sampling with replacement.
+// It backs the ablation that compares with- vs without-replacement
+// probabilistic candidate pools.
+type Alias struct {
+	prob  []float64
+	alias []int32
+}
+
+// NewAlias builds an alias table over the given non-negative weights.
+// Returns nil if no weight is positive.
+func NewAlias(weights []float64) *Alias {
+	n := len(weights)
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total == 0 || n == 0 {
+		return nil
+	}
+	a := &Alias{prob: make([]float64, n), alias: make([]int32, n)}
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, w := range weights {
+		if w < 0 {
+			w = 0
+		}
+		scaled[i] = w * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		a.prob[i] = 1
+	}
+	for _, i := range small {
+		a.prob[i] = 1
+	}
+	return a
+}
+
+// Draw samples one index with probability proportional to its weight.
+func (a *Alias) Draw(rng *rand.Rand) int32 {
+	i := rng.Intn(len(a.prob))
+	if rng.Float64() < a.prob[i] {
+		return int32(i)
+	}
+	return a.alias[i]
+}

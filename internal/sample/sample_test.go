@@ -1,0 +1,207 @@
+package sample
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformDistinctAndInRange(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		k := rng.Intn(n + 10)
+		got := Uniform(rng, n, k)
+		wantLen := k
+		if k > n {
+			wantLen = n
+		}
+		if len(got) != wantLen {
+			return false
+		}
+		seen := make(map[int32]bool)
+		for _, v := range got {
+			if v < 0 || int(v) >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformIsApproximatelyUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n, k, trials = 20, 5, 20000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		for _, v := range Uniform(rng, n, k) {
+			counts[v]++
+		}
+	}
+	expected := float64(trials*k) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-expected) > 0.1*expected {
+			t.Fatalf("element %d drawn %d times, expected ≈%.0f", i, c, expected)
+		}
+	}
+}
+
+func TestUniformFromSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	set := []int32{10, 20, 30}
+	got := UniformFromSet(rng, set, 10)
+	if len(got) != 3 {
+		t.Fatalf("len = %d, want 3 (capped at set size)", len(got))
+	}
+	allowed := map[int32]bool{10: true, 20: true, 30: true}
+	for _, v := range got {
+		if !allowed[v] {
+			t.Fatalf("sampled %d not in set", v)
+		}
+	}
+}
+
+func TestWeightedBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	weights := []float64{0, 1, 0, 2, 0}
+	got := Weighted(rng, nil, weights, 10)
+	if len(got) != 2 {
+		t.Fatalf("len = %d, want 2 (only positive-weight items)", len(got))
+	}
+	seen := map[int32]bool{}
+	for _, v := range got {
+		if v != 1 && v != 3 {
+			t.Fatalf("sampled %d, want only 1 or 3", v)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate %d in without-replacement sample", v)
+		}
+		seen[v] = true
+	}
+	if Weighted(rng, nil, weights, 0) != nil {
+		t.Fatal("k=0 must return nil")
+	}
+}
+
+func TestWeightedWithExplicitIDs(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ids := []int32{100, 200, 300}
+	got := Weighted(rng, ids, []float64{1, 1, 1}, 2)
+	if len(got) != 2 {
+		t.Fatalf("len = %d, want 2", len(got))
+	}
+	for _, v := range got {
+		if v != 100 && v != 200 && v != 300 {
+			t.Fatalf("sampled %d, not one of the ids", v)
+		}
+	}
+}
+
+func TestWeightedSkipsNaNAndNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	got := Weighted(rng, nil, []float64{math.NaN(), -1, 0.5}, 3)
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("got %v, want [2]", got)
+	}
+}
+
+// Property: Weighted never returns duplicates and only positive-weight ids.
+func TestWeightedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		weights := make([]float64, n)
+		positive := 0
+		for i := range weights {
+			if rng.Intn(3) > 0 {
+				weights[i] = rng.Float64() + 0.01
+				positive++
+			}
+		}
+		k := rng.Intn(n + 5)
+		got := Weighted(rng, nil, weights, k)
+		wantLen := k
+		if positive < k {
+			wantLen = positive
+		}
+		if len(got) != wantLen {
+			return false
+		}
+		seen := make(map[int32]bool)
+		for _, v := range got {
+			if weights[v] <= 0 || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Heavier-weighted items must be sampled more often when k < #items.
+func TestWeightedBias(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	weights := []float64{1, 1, 1, 1, 20}
+	const trials = 5000
+	hit4 := 0
+	for i := 0; i < trials; i++ {
+		for _, v := range Weighted(rng, nil, weights, 1) {
+			if v == 4 {
+				hit4++
+			}
+		}
+	}
+	// Item 4 carries 20/24 ≈ 83% of the mass.
+	if frac := float64(hit4) / trials; frac < 0.75 || frac > 0.92 {
+		t.Fatalf("heavy item sampled %.3f of the time, want ≈0.83", frac)
+	}
+}
+
+func TestAliasNilOnZeroWeights(t *testing.T) {
+	if NewAlias([]float64{0, 0}) != nil {
+		t.Fatal("want nil alias for all-zero weights")
+	}
+	if NewAlias(nil) != nil {
+		t.Fatal("want nil alias for empty weights")
+	}
+}
+
+func TestAliasDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	weights := []float64{1, 3, 6}
+	a := NewAlias(weights)
+	if a == nil {
+		t.Fatal("alias is nil")
+	}
+	const trials = 60000
+	counts := make([]int, 3)
+	for i := 0; i < trials; i++ {
+		counts[a.Draw(rng)]++
+	}
+	total := 10.0
+	for i, w := range weights {
+		want := w / total
+		got := float64(counts[i]) / trials
+		if math.Abs(got-want) > 0.02 {
+			t.Fatalf("item %d frequency %.3f, want %.3f", i, got, want)
+		}
+	}
+}
+
+func TestAliasNegativeWeightsTreatedAsZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := NewAlias([]float64{-5, 1})
+	for i := 0; i < 1000; i++ {
+		if a.Draw(rng) == 0 {
+			t.Fatal("negative-weight item drawn")
+		}
+	}
+}

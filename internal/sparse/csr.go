@@ -1,0 +1,271 @@
+// Package sparse implements the compressed sparse row (CSR) matrices and the
+// handful of kernels — transpose, sparse×sparse product, row normalization —
+// that the L-WD relation recommender (Algorithm 1 of the paper) is made of:
+//
+//	B ∈ {0,1}^{|E|×2|R|}   (domain/range incidence)
+//	W = BᵀB, row-normalized (domain/range co-occurrence probabilities)
+//	X = B·W                 (relational scores)
+//
+// Matrices are immutable after construction and safe for concurrent reads.
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Entry is one (row, col, val) coordinate of a matrix under construction.
+type Entry struct {
+	Row, Col int32
+	Val      float64
+}
+
+// CSR is a compressed-sparse-row matrix. A nil Val slice denotes an all-ones
+// binary matrix (the pattern is the value), which keeps incidence matrices
+// at 4 bytes per nonzero.
+type CSR struct {
+	NumRows, NumCols int
+	RowPtr           []int   // len NumRows+1
+	ColIdx           []int32 // len nnz, sorted within each row
+	Val              []float64
+}
+
+// NNZ returns the number of stored nonzeros.
+func (m *CSR) NNZ() int { return len(m.ColIdx) }
+
+// Binary reports whether the matrix stores an implicit all-ones pattern.
+func (m *CSR) Binary() bool { return m.Val == nil }
+
+// valueAt returns the value of the k-th stored nonzero.
+func (m *CSR) valueAt(k int) float64 {
+	if m.Val == nil {
+		return 1
+	}
+	return m.Val[k]
+}
+
+// NewCSR builds a CSR matrix from coordinate entries. Duplicate (row, col)
+// coordinates are summed. Entries out of bounds cause a panic: builders are
+// internal and bounds violations are programming errors.
+func NewCSR(rows, cols int, entries []Entry) *CSR {
+	for _, e := range entries {
+		if e.Row < 0 || int(e.Row) >= rows || e.Col < 0 || int(e.Col) >= cols {
+			panic(fmt.Sprintf("sparse: entry (%d,%d) out of %dx%d bounds", e.Row, e.Col, rows, cols))
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Row != entries[j].Row {
+			return entries[i].Row < entries[j].Row
+		}
+		return entries[i].Col < entries[j].Col
+	})
+	m := &CSR{
+		NumRows: rows,
+		NumCols: cols,
+		RowPtr:  make([]int, rows+1),
+	}
+	m.ColIdx = make([]int32, 0, len(entries))
+	m.Val = make([]float64, 0, len(entries))
+	for i := 0; i < len(entries); {
+		j := i
+		sum := 0.0
+		for j < len(entries) && entries[j].Row == entries[i].Row && entries[j].Col == entries[i].Col {
+			sum += entries[j].Val
+			j++
+		}
+		m.ColIdx = append(m.ColIdx, entries[i].Col)
+		m.Val = append(m.Val, sum)
+		m.RowPtr[entries[i].Row+1]++
+		i = j
+	}
+	for r := 0; r < rows; r++ {
+		m.RowPtr[r+1] += m.RowPtr[r]
+	}
+	return m
+}
+
+// NewBinaryCSR builds an all-ones CSR matrix from (row, col) pairs encoded
+// as entries (Val ignored). Duplicates collapse to a single nonzero.
+func NewBinaryCSR(rows, cols int, entries []Entry) *CSR {
+	for _, e := range entries {
+		if e.Row < 0 || int(e.Row) >= rows || e.Col < 0 || int(e.Col) >= cols {
+			panic(fmt.Sprintf("sparse: entry (%d,%d) out of %dx%d bounds", e.Row, e.Col, rows, cols))
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Row != entries[j].Row {
+			return entries[i].Row < entries[j].Row
+		}
+		return entries[i].Col < entries[j].Col
+	})
+	m := &CSR{
+		NumRows: rows,
+		NumCols: cols,
+		RowPtr:  make([]int, rows+1),
+	}
+	m.ColIdx = make([]int32, 0, len(entries))
+	for i, e := range entries {
+		if i > 0 && e.Row == entries[i-1].Row && e.Col == entries[i-1].Col {
+			continue
+		}
+		m.ColIdx = append(m.ColIdx, e.Col)
+		m.RowPtr[e.Row+1]++
+	}
+	for r := 0; r < rows; r++ {
+		m.RowPtr[r+1] += m.RowPtr[r]
+	}
+	return m
+}
+
+// Row returns the column indices and values of row r. The returned slices
+// alias internal storage and must not be modified. For binary matrices the
+// returned vals slice is nil (all ones).
+func (m *CSR) Row(r int) (cols []int32, vals []float64) {
+	lo, hi := m.RowPtr[r], m.RowPtr[r+1]
+	if m.Val == nil {
+		return m.ColIdx[lo:hi], nil
+	}
+	return m.ColIdx[lo:hi], m.Val[lo:hi]
+}
+
+// At returns the value at (r, c), zero if not stored. O(log nnz(row)).
+func (m *CSR) At(r, c int) float64 {
+	lo, hi := m.RowPtr[r], m.RowPtr[r+1]
+	row := m.ColIdx[lo:hi]
+	i := sort.Search(len(row), func(i int) bool { return row[i] >= int32(c) })
+	if i < len(row) && row[i] == int32(c) {
+		return m.valueAt(lo + i)
+	}
+	return 0
+}
+
+// Transpose returns the transposed matrix (CSR of the transpose), computed
+// by counting sort in O(nnz + rows + cols).
+func (m *CSR) Transpose() *CSR {
+	t := &CSR{
+		NumRows: m.NumCols,
+		NumCols: m.NumRows,
+		RowPtr:  make([]int, m.NumCols+1),
+		ColIdx:  make([]int32, m.NNZ()),
+	}
+	if !m.Binary() {
+		t.Val = make([]float64, m.NNZ())
+	}
+	for _, c := range m.ColIdx {
+		t.RowPtr[c+1]++
+	}
+	for c := 0; c < m.NumCols; c++ {
+		t.RowPtr[c+1] += t.RowPtr[c]
+	}
+	next := make([]int, m.NumCols)
+	copy(next, t.RowPtr[:m.NumCols])
+	for r := 0; r < m.NumRows; r++ {
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			c := m.ColIdx[k]
+			pos := next[c]
+			next[c]++
+			t.ColIdx[pos] = int32(r)
+			if t.Val != nil {
+				t.Val[pos] = m.Val[k]
+			}
+		}
+	}
+	return t
+}
+
+// Mul computes the sparse product a·b with Gustavson's algorithm using a
+// dense per-row accumulator. Panics if the inner dimensions disagree.
+func Mul(a, b *CSR) *CSR {
+	if a.NumCols != b.NumRows {
+		panic(fmt.Sprintf("sparse: Mul dimension mismatch %dx%d · %dx%d", a.NumRows, a.NumCols, b.NumRows, b.NumCols))
+	}
+	out := &CSR{
+		NumRows: a.NumRows,
+		NumCols: b.NumCols,
+		RowPtr:  make([]int, a.NumRows+1),
+	}
+	acc := make([]float64, b.NumCols)
+	mark := make([]int, b.NumCols)
+	for i := range mark {
+		mark[i] = -1
+	}
+	var touched []int32
+	for r := 0; r < a.NumRows; r++ {
+		touched = touched[:0]
+		for ka := a.RowPtr[r]; ka < a.RowPtr[r+1]; ka++ {
+			j := a.ColIdx[ka]
+			av := a.valueAt(ka)
+			for kb := b.RowPtr[j]; kb < b.RowPtr[j+1]; kb++ {
+				c := b.ColIdx[kb]
+				if mark[c] != r {
+					mark[c] = r
+					acc[c] = 0
+					touched = append(touched, c)
+				}
+				acc[c] += av * b.valueAt(kb)
+			}
+		}
+		sort.Slice(touched, func(i, j int) bool { return touched[i] < touched[j] })
+		for _, c := range touched {
+			out.ColIdx = append(out.ColIdx, c)
+			out.Val = append(out.Val, acc[c])
+		}
+		out.RowPtr[r+1] = len(out.ColIdx)
+	}
+	return out
+}
+
+// GramT computes AᵀA — the co-occurrence matrix at the heart of L-WD, where
+// entry (i, j) counts entities that belong to both domain/range column i and
+// column j.
+func GramT(a *CSR) *CSR {
+	return Mul(a.Transpose(), a)
+}
+
+// RowNormalize returns a copy of m with each row rescaled to sum to 1
+// (L1 normalization, turning co-occurrence counts into probabilities).
+// All-zero rows remain zero. The result always stores explicit values.
+func RowNormalize(m *CSR) *CSR {
+	out := &CSR{
+		NumRows: m.NumRows,
+		NumCols: m.NumCols,
+		RowPtr:  append([]int(nil), m.RowPtr...),
+		ColIdx:  append([]int32(nil), m.ColIdx...),
+		Val:     make([]float64, m.NNZ()),
+	}
+	for r := 0; r < m.NumRows; r++ {
+		sum := 0.0
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			sum += m.valueAt(k)
+		}
+		if sum == 0 {
+			continue
+		}
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			out.Val[k] = m.valueAt(k) / sum
+		}
+	}
+	return out
+}
+
+// Dense expands the matrix into a row-major dense [][]float64. Intended for
+// tests and tiny matrices only.
+func (m *CSR) Dense() [][]float64 {
+	out := make([][]float64, m.NumRows)
+	for r := range out {
+		out[r] = make([]float64, m.NumCols)
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			out[r][m.ColIdx[k]] = m.valueAt(k)
+		}
+	}
+	return out
+}
+
+// ColumnNNZ returns the number of stored nonzeros per column.
+func (m *CSR) ColumnNNZ() []int {
+	counts := make([]int, m.NumCols)
+	for _, c := range m.ColIdx {
+		counts[c]++
+	}
+	return counts
+}

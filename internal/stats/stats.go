@@ -1,0 +1,192 @@
+// Package stats implements the descriptive and correlation statistics the
+// paper's evaluation reports: Pearson and Kendall-τ correlations, MAE and
+// MAPE error measures, means with confidence intervals, and the
+// hypergeometric expectation behind Equation 1 / Theorem 1.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the sample standard deviation of xs (0 for n < 2).
+func Std(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(n-1))
+}
+
+// MeanStd returns both the mean and the sample standard deviation.
+func MeanStd(xs []float64) (mean, std float64) {
+	return Mean(xs), Std(xs)
+}
+
+// CI95 returns the mean and the half-width of a normal-approximation 95%
+// confidence interval for the mean of xs.
+func CI95(xs []float64) (mean, half float64) {
+	m, s := MeanStd(xs)
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	return m, 1.96 * s / math.Sqrt(float64(len(xs)))
+}
+
+// Pearson returns the Pearson correlation coefficient between x and y.
+// Returns 0 when either series is constant. Panics on length mismatch.
+func Pearson(x, y []float64) float64 {
+	checkLen(x, y)
+	n := float64(len(x))
+	if n == 0 {
+		return 0
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// KendallTau returns the Kendall τ-b rank correlation between x and y,
+// which corrects for ties — important here because estimated metrics can
+// assign identical values to two models in an epoch. O(n²), fine for the
+// epoch-count-sized inputs it receives. Returns 0 if either series is
+// entirely tied. Panics on length mismatch.
+func KendallTau(x, y []float64) float64 {
+	checkLen(x, y)
+	n := len(x)
+	if n < 2 {
+		return 0
+	}
+	var concordant, discordant, tiesX, tiesY float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx := sign(x[i] - x[j])
+			dy := sign(y[i] - y[j])
+			switch {
+			case dx == 0 && dy == 0:
+				// Tied in both: contributes to neither.
+			case dx == 0:
+				tiesX++
+			case dy == 0:
+				tiesY++
+			case dx == dy:
+				concordant++
+			default:
+				discordant++
+			}
+		}
+	}
+	denom := math.Sqrt((concordant + discordant + tiesX) * (concordant + discordant + tiesY))
+	if denom == 0 {
+		return 0
+	}
+	return (concordant - discordant) / denom
+}
+
+func sign(v float64) int {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	}
+	return 0
+}
+
+// MAE returns the mean absolute error between predictions and truth.
+// Panics on length mismatch.
+func MAE(pred, truth []float64) float64 {
+	checkLen(pred, truth)
+	if len(pred) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range pred {
+		s += math.Abs(pred[i] - truth[i])
+	}
+	return s / float64(len(pred))
+}
+
+// MAPE returns the mean absolute percentage error (in percent) between
+// predictions and truth, skipping points where the truth is zero.
+// Panics on length mismatch.
+func MAPE(pred, truth []float64) float64 {
+	checkLen(pred, truth)
+	s, n := 0.0, 0
+	for i := range pred {
+		if truth[i] == 0 {
+			continue
+		}
+		s += math.Abs((pred[i] - truth[i]) / truth[i])
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return 100 * s / float64(n)
+}
+
+// HypergeometricMean returns E[X] for X ~ Hypergeometric(K, N, n): the
+// expected number of "successes" when drawing n items without replacement
+// from a population of N containing K successes. This is Equation 1's
+// E[X_u] = n·|E_(h,r)|/|E| — the expected number of sampled entities that
+// outrank the true answer under uniform sampling.
+func HypergeometricMean(successes, population, draws int) float64 {
+	if population == 0 {
+		return 0
+	}
+	return float64(draws) * float64(successes) / float64(population)
+}
+
+// ExpectedRankGain evaluates the closed form of Theorem 1: the expected
+// number of positions gained towards the true rank when sampling n_s
+// candidates from a range set of size rangeSize instead of from all
+// numEntities, for a query whose true answer has outrankedBy entities
+// ranked above it (all of which lie inside the range set).
+//
+//	E[Y] = |E_(h,r)| · (min(n_s,|RS_r|)/|RS_r| − n_s/|E|)
+//
+// The theorem guarantees the result is ≥ 0.
+func ExpectedRankGain(outrankedBy, numEntities, rangeSize, ns int) float64 {
+	if rangeSize == 0 || numEntities == 0 {
+		return 0
+	}
+	eff := ns
+	if eff > rangeSize {
+		eff = rangeSize
+	}
+	return float64(outrankedBy) * (float64(eff)/float64(rangeSize) - float64(ns)/float64(numEntities))
+}
+
+func checkLen(a, b []float64) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("stats: length mismatch %d vs %d", len(a), len(b)))
+	}
+}

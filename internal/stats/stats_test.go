@@ -1,0 +1,217 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); !approx(m, 5, 1e-12) {
+		t.Fatalf("Mean = %v, want 5", m)
+	}
+	if s := Std(xs); !approx(s, 2.138089935299395, 1e-9) {
+		t.Fatalf("Std = %v", s)
+	}
+	if Mean(nil) != 0 || Std(nil) != 0 || Std([]float64{1}) != 0 {
+		t.Fatal("degenerate inputs must return 0")
+	}
+}
+
+func TestCI95(t *testing.T) {
+	m, h := CI95([]float64{1, 2, 3, 4, 5})
+	if !approx(m, 3, 1e-12) {
+		t.Fatalf("CI95 mean = %v", m)
+	}
+	if h <= 0 {
+		t.Fatalf("CI95 half-width = %v, want > 0", h)
+	}
+	if _, h := CI95(nil); h != 0 {
+		t.Fatal("empty input must give 0 half-width")
+	}
+}
+
+func TestPearsonKnownValues(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	if r := Pearson(x, []float64{2, 4, 6, 8, 10}); !approx(r, 1, 1e-12) {
+		t.Fatalf("perfect positive: %v", r)
+	}
+	if r := Pearson(x, []float64{10, 8, 6, 4, 2}); !approx(r, -1, 1e-12) {
+		t.Fatalf("perfect negative: %v", r)
+	}
+	if r := Pearson(x, []float64{3, 3, 3, 3, 3}); r != 0 {
+		t.Fatalf("constant series: %v, want 0", r)
+	}
+	// Hand-computed example.
+	r := Pearson([]float64{1, 2, 3, 5, 8}, []float64{0.11, 0.12, 0.13, 0.15, 0.18})
+	if !approx(r, 1, 1e-9) {
+		t.Fatalf("linear transform: %v, want 1", r)
+	}
+}
+
+func TestPearsonInvariantUnderAffineTransform(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(30)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		r1 := Pearson(x, y)
+		// y' = 3y + 7 must preserve correlation.
+		y2 := make([]float64, n)
+		for i := range y {
+			y2[i] = 3*y[i] + 7
+		}
+		return approx(r1, Pearson(x, y2), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPearsonMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on length mismatch")
+		}
+	}()
+	Pearson([]float64{1}, []float64{1, 2})
+}
+
+func TestKendallTauKnownValues(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	if tau := KendallTau(x, []float64{1, 2, 3, 4, 5}); !approx(tau, 1, 1e-12) {
+		t.Fatalf("identical order: %v", tau)
+	}
+	if tau := KendallTau(x, []float64{5, 4, 3, 2, 1}); !approx(tau, -1, 1e-12) {
+		t.Fatalf("reversed order: %v", tau)
+	}
+	// One swap in 4 items: 5 concordant, 1 discordant → τ = 4/6.
+	if tau := KendallTau([]float64{1, 2, 3, 4}, []float64{1, 3, 2, 4}); !approx(tau, 4.0/6.0, 1e-12) {
+		t.Fatalf("single swap: %v, want %v", tau, 4.0/6.0)
+	}
+	if tau := KendallTau([]float64{1, 1, 1}, []float64{1, 2, 3}); tau != 0 {
+		t.Fatalf("all tied x: %v, want 0", tau)
+	}
+	if tau := KendallTau([]float64{1}, []float64{2}); tau != 0 {
+		t.Fatalf("single point: %v, want 0", tau)
+	}
+}
+
+func TestKendallTauTies(t *testing.T) {
+	// τ-b with ties stays in [-1, 1] and is positive for mostly-concordant data.
+	tau := KendallTau([]float64{1, 2, 2, 3}, []float64{1, 2, 3, 4})
+	if tau <= 0 || tau > 1 {
+		t.Fatalf("tied data: %v, want in (0, 1]", tau)
+	}
+}
+
+func TestKendallTauRange(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = float64(rng.Intn(5))
+			y[i] = float64(rng.Intn(5))
+		}
+		tau := KendallTau(x, y)
+		return tau >= -1-1e-12 && tau <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMAE(t *testing.T) {
+	if got := MAE([]float64{1, 2, 3}, []float64{1, 4, 1}); !approx(got, 4.0/3.0, 1e-12) {
+		t.Fatalf("MAE = %v", got)
+	}
+	if MAE(nil, nil) != 0 {
+		t.Fatal("empty MAE must be 0")
+	}
+}
+
+func TestMAPE(t *testing.T) {
+	got := MAPE([]float64{110, 90}, []float64{100, 100})
+	if !approx(got, 10, 1e-12) {
+		t.Fatalf("MAPE = %v, want 10", got)
+	}
+	// Zero-truth points are skipped.
+	got = MAPE([]float64{5, 110}, []float64{0, 100})
+	if !approx(got, 10, 1e-12) {
+		t.Fatalf("MAPE with zero truth = %v, want 10", got)
+	}
+	if MAPE([]float64{5}, []float64{0}) != 0 {
+		t.Fatal("all-zero truth must give 0")
+	}
+}
+
+func TestHypergeometricMean(t *testing.T) {
+	// Eq. 1: E[X_u] = n_s·K/N.
+	if got := HypergeometricMean(10, 100, 20); !approx(got, 2, 1e-12) {
+		t.Fatalf("E[X] = %v, want 2", got)
+	}
+	if HypergeometricMean(5, 0, 3) != 0 {
+		t.Fatal("empty population must give 0")
+	}
+}
+
+// Monte-Carlo check of the hypergeometric expectation: draw without
+// replacement and compare the empirical mean of successes.
+func TestHypergeometricMeanMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const N, K, n, trials = 50, 12, 15, 20000
+	total := 0
+	pop := make([]int, N)
+	for i := 0; i < K; i++ {
+		pop[i] = 1
+	}
+	for tr := 0; tr < trials; tr++ {
+		rng.Shuffle(N, func(i, j int) { pop[i], pop[j] = pop[j], pop[i] })
+		for i := 0; i < n; i++ {
+			total += pop[i]
+		}
+	}
+	got := float64(total) / trials
+	want := HypergeometricMean(K, N, n)
+	if !approx(got, want, 0.05) {
+		t.Fatalf("empirical %v vs analytical %v", got, want)
+	}
+}
+
+// Theorem 1: the expected rank gain is non-negative for every admissible
+// configuration, and zero when the range set is the whole entity set.
+func TestExpectedRankGainTheorem1(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		numEntities := 2 + rng.Intn(1000)
+		rangeSize := 1 + rng.Intn(numEntities)
+		outranked := rng.Intn(rangeSize + 1)
+		ns := 1 + rng.Intn(numEntities)
+		gain := ExpectedRankGain(outranked, numEntities, rangeSize, ns)
+		if gain < -1e-9 {
+			return false
+		}
+		// Degenerate case: sampling from E itself gains nothing.
+		full := ExpectedRankGain(outranked, numEntities, numEntities, ns)
+		return approx(full, 0, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpectedRankGainDegenerate(t *testing.T) {
+	if ExpectedRankGain(3, 0, 0, 5) != 0 {
+		t.Fatal("zero-size inputs must give 0")
+	}
+}

@@ -1,0 +1,46 @@
+package synth
+
+import (
+	"math/rand"
+	"sort"
+
+	"kgeval/internal/kg"
+)
+
+// CorruptTypes simulates the incomplete, noisy entity typing the paper
+// discusses in §4.1 ("an ontology might not always be available, and types
+// are often incomplete and noisy"): it returns a copy of the graph whose
+// type assignment has a fraction dropFrac of (entity, type) pairs removed
+// and a fraction noiseFrac of entities given one additional random
+// (wrong-with-high-probability) type.
+//
+// Type-aware recommenders (DBH-T, OntoSim, L-WD-T) are fitted on the
+// corrupted graph to measure their robustness; L-WD is unaffected by
+// construction, which is the paper's argument for keeping a type-free
+// method available.
+func CorruptTypes(g *kg.Graph, dropFrac, noiseFrac float64, seed int64) *kg.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	out := *g
+	out.EntityTypes = make([][]int32, len(g.EntityTypes))
+	for e, ts := range g.EntityTypes {
+		kept := make([]int32, 0, len(ts))
+		for _, t := range ts {
+			if rng.Float64() >= dropFrac {
+				kept = append(kept, t)
+			}
+		}
+		if rng.Float64() < noiseFrac && g.NumTypes > 0 {
+			kept = append(kept, int32(rng.Intn(g.NumTypes)))
+		}
+		sort.Slice(kept, func(i, j int) bool { return kept[i] < kept[j] })
+		// Deduplicate after noise injection.
+		dedup := kept[:0]
+		for i, t := range kept {
+			if i == 0 || t != kept[i-1] {
+				dedup = append(dedup, t)
+			}
+		}
+		out.EntityTypes[e] = dedup
+	}
+	return &out
+}

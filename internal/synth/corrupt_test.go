@@ -1,0 +1,115 @@
+package synth
+
+import (
+	"testing"
+
+	"kgeval/internal/recommender"
+)
+
+func TestCorruptTypesDropsAndAddsTypes(t *testing.T) {
+	ds, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ds.Graph
+	before := 0
+	for _, ts := range g.EntityTypes {
+		before += len(ts)
+	}
+	corrupted := CorruptTypes(g, 0.5, 0, 1)
+	after := 0
+	for e, ts := range corrupted.EntityTypes {
+		after += len(ts)
+		for i := 1; i < len(ts); i++ {
+			if ts[i] <= ts[i-1] {
+				t.Fatalf("entity %d: corrupted types not strictly sorted: %v", e, ts)
+			}
+		}
+	}
+	if after >= before {
+		t.Fatalf("dropFrac=0.5 kept %d of %d type pairs", after, before)
+	}
+	if float64(after) < 0.3*float64(before) || float64(after) > 0.7*float64(before) {
+		t.Fatalf("dropFrac=0.5 kept %.2f of pairs, want ≈0.5", float64(after)/float64(before))
+	}
+	// Original graph untouched.
+	orig := 0
+	for _, ts := range g.EntityTypes {
+		orig += len(ts)
+	}
+	if orig != before {
+		t.Fatal("CorruptTypes mutated the input graph")
+	}
+	if err := corrupted.Validate(); err != nil {
+		t.Fatalf("corrupted graph invalid: %v", err)
+	}
+}
+
+func TestCorruptTypesNoise(t *testing.T) {
+	ds, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ds.Graph
+	noisy := CorruptTypes(g, 0, 1.0, 2)
+	if err := noisy.Validate(); err != nil {
+		t.Fatalf("noisy graph invalid: %v", err)
+	}
+	grew := 0
+	for e := range g.EntityTypes {
+		if len(noisy.EntityTypes[e]) > len(g.EntityTypes[e]) {
+			grew++
+		}
+	}
+	// noiseFrac=1 adds one type to each entity (duplicates collapse).
+	if float64(grew) < 0.5*float64(g.NumEntities) {
+		t.Fatalf("only %d/%d entities gained a noisy type", grew, g.NumEntities)
+	}
+}
+
+// §4.1's claim: noisy/incomplete types degrade type-aware recommenders while
+// a type-free method (L-WD) is untouched by construction.
+func TestTypeAwareRecommendersDegradeWithNoisyTypes(t *testing.T) {
+	ds, err := Generate(Config{
+		Name: "noisy", NumEntities: 500, NumRelations: 12, NumTypes: 25,
+		ZipfType: 0.4, NumTriples: 6000, ValidFrac: 0.06, TestFrac: 0.06, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ds.Graph
+	corrupted := CorruptTypes(g, 0.6, 0.3, 3)
+
+	// DBH-T on clean vs corrupted types.
+	clean := recommender.NewDBHT()
+	if err := clean.Fit(g); err != nil {
+		t.Fatal(err)
+	}
+	cleanQ := recommender.EvaluateCandidates(
+		recommender.BuildStatic(clean.Scores(), g, recommender.DefaultStaticOpts()), g)
+
+	noisy := recommender.NewDBHT()
+	if err := noisy.Fit(corrupted); err != nil {
+		t.Fatal(err)
+	}
+	noisyQ := recommender.EvaluateCandidates(
+		recommender.BuildStatic(noisy.Scores(), corrupted, recommender.DefaultStaticOpts()), corrupted)
+
+	if noisyQ.CRUnseen >= cleanQ.CRUnseen {
+		t.Fatalf("DBH-T CR Unseen should degrade with noisy types: clean=%.3f noisy=%.3f",
+			cleanQ.CRUnseen, noisyQ.CRUnseen)
+	}
+
+	// L-WD ignores types entirely: identical scores on both graphs.
+	a := recommender.NewLWD()
+	if err := a.Fit(g); err != nil {
+		t.Fatal(err)
+	}
+	b := recommender.NewLWD()
+	if err := b.Fit(corrupted); err != nil {
+		t.Fatal(err)
+	}
+	if a.Scores().NNZ() != b.Scores().NNZ() {
+		t.Fatal("L-WD must be unaffected by type corruption")
+	}
+}

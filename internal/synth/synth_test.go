@@ -1,0 +1,318 @@
+package synth
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"kgeval/internal/kg"
+)
+
+func testConfig() Config {
+	return Config{
+		Name:         "test",
+		NumEntities:  300,
+		NumRelations: 10,
+		NumTypes:     12,
+		NumTriples:   3000,
+		ValidFrac:    0.08,
+		TestFrac:     0.08,
+		NoiseRate:    0.02,
+		Seed:         42,
+	}
+}
+
+func TestGenerateBasics(t *testing.T) {
+	ds, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ds.Graph
+	if err := g.Validate(); err != nil {
+		t.Fatalf("generated graph invalid: %v", err)
+	}
+	if g.NumTriples() < 2000 {
+		t.Fatalf("generated only %d triples, want ≥ 2000", g.NumTriples())
+	}
+	if len(g.Valid) == 0 || len(g.Test) == 0 {
+		t.Fatalf("empty splits: valid=%d test=%d", len(g.Valid), len(g.Test))
+	}
+	if len(ds.Relations) != g.NumRelations {
+		t.Fatalf("relation metadata length %d, want %d", len(ds.Relations), g.NumRelations)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Graph.Train) != len(b.Graph.Train) {
+		t.Fatalf("non-deterministic train sizes: %d vs %d", len(a.Graph.Train), len(b.Graph.Train))
+	}
+	for i := range a.Graph.Train {
+		if a.Graph.Train[i] != b.Graph.Train[i] {
+			t.Fatalf("non-deterministic triple at %d: %v vs %v", i, a.Graph.Train[i], b.Graph.Train[i])
+		}
+	}
+}
+
+func TestGenerateNoDuplicateTriples(t *testing.T) {
+	ds, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[kg.Triple]bool{}
+	for _, tr := range ds.Graph.AllTriples() {
+		if seen[tr] {
+			t.Fatalf("duplicate triple %v", tr)
+		}
+		seen[tr] = true
+	}
+}
+
+func TestGenerateNoSelfLoops(t *testing.T) {
+	ds, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range ds.Graph.AllTriples() {
+		if tr.H == tr.T {
+			t.Fatalf("self loop %v", tr)
+		}
+	}
+}
+
+// Transductive invariant: every entity/relation in valid/test is in train.
+func TestGenerateTransductiveSplit(t *testing.T) {
+	ds, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ds.Graph
+	entSeen := make([]bool, g.NumEntities)
+	relSeen := make([]bool, g.NumRelations)
+	for _, tr := range g.Train {
+		entSeen[tr.H], entSeen[tr.T], relSeen[tr.R] = true, true, true
+	}
+	for _, split := range [][]kg.Triple{g.Valid, g.Test} {
+		for _, tr := range split {
+			if !entSeen[tr.H] || !entSeen[tr.T] {
+				t.Fatalf("held-out triple %v has entity unseen in train", tr)
+			}
+			if !relSeen[tr.R] {
+				t.Fatalf("held-out triple %v has relation unseen in train", tr)
+			}
+		}
+	}
+}
+
+// Non-noise triples must respect the relation type signatures — this is the
+// structural property that produces easy negatives.
+func TestGenerateTypeSignatureRespected(t *testing.T) {
+	ds, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ds.Graph
+	noise := map[kg.Triple]bool{}
+	for _, tr := range ds.NoiseTriples {
+		noise[tr] = true
+	}
+	violations := 0
+	for _, tr := range g.AllTriples() {
+		if noise[tr] {
+			continue
+		}
+		rel := ds.Relations[tr.R]
+		if !hasAnyType(g.EntityTypes[tr.H], rel.DomainTypes) || !hasAnyType(g.EntityTypes[tr.T], rel.RangeTypes) {
+			violations++
+		}
+	}
+	if violations > 0 {
+		t.Fatalf("%d non-noise triples violate their relation signature", violations)
+	}
+}
+
+// Cardinality invariant: for M-1 relations each head has one tail, etc.
+func TestGenerateCardinalityRespected(t *testing.T) {
+	ds, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	headTails := map[[2]int32]map[int32]bool{}
+	tailHeads := map[[2]int32]map[int32]bool{}
+	for _, tr := range ds.Graph.AllTriples() {
+		hk := [2]int32{tr.R, tr.H}
+		if headTails[hk] == nil {
+			headTails[hk] = map[int32]bool{}
+		}
+		headTails[hk][tr.T] = true
+		tk := [2]int32{tr.R, tr.T}
+		if tailHeads[tk] == nil {
+			tailHeads[tk] = map[int32]bool{}
+		}
+		tailHeads[tk][tr.H] = true
+	}
+	for k, tails := range headTails {
+		card := ds.Relations[k[0]].Card
+		if (card == OneToOne || card == ManyToOne) && len(tails) > 1 {
+			t.Fatalf("relation %d (%v): head %d has %d tails", k[0], card, k[1], len(tails))
+		}
+	}
+	for k, heads := range tailHeads {
+		card := ds.Relations[k[0]].Card
+		if (card == OneToOne || card == OneToMany) && len(heads) > 1 {
+			t.Fatalf("relation %d (%v): tail %d has %d heads", k[0], card, k[1], len(heads))
+		}
+	}
+}
+
+func TestGenerateNoiseRateRoughlyHonored(t *testing.T) {
+	cfg := testConfig()
+	cfg.NoiseRate = 0.05
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(len(ds.NoiseTriples)) / float64(ds.Graph.NumTriples())
+	if frac == 0 || frac > 0.12 {
+		t.Fatalf("noise fraction %.3f, want in (0, 0.12]", frac)
+	}
+}
+
+func TestGenerateZeroNoise(t *testing.T) {
+	cfg := testConfig()
+	cfg.NoiseRate = 0
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.NoiseTriples) != 0 {
+		t.Fatalf("%d noise triples with NoiseRate=0", len(ds.NoiseTriples))
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []func(*Config){
+		func(c *Config) { c.NumEntities = 1 },
+		func(c *Config) { c.NumRelations = 0 },
+		func(c *Config) { c.NumTypes = 0 },
+		func(c *Config) { c.NumTriples = 0 },
+		func(c *Config) { c.ValidFrac = -0.1 },
+		func(c *Config) { c.ValidFrac, c.TestFrac = 0.5, 0.5 },
+		func(c *Config) { c.NoiseRate = 0.9 },
+	}
+	for i, mutate := range cases {
+		cfg := testConfig()
+		mutate(&cfg)
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("case %d: want validation error", i)
+		}
+	}
+}
+
+func TestEveryEntityHasAType(t *testing.T) {
+	ds, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e, ts := range ds.Graph.EntityTypes {
+		if len(ts) == 0 {
+			t.Fatalf("entity %d has no types", e)
+		}
+		if !sort.SliceIsSorted(ts, func(i, j int) bool { return ts[i] < ts[j] }) {
+			t.Fatalf("entity %d types unsorted: %v", e, ts)
+		}
+	}
+}
+
+func TestTypeSizesAreSkewed(t *testing.T) {
+	ds, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := make([]int, ds.Graph.NumTypes)
+	for _, ts := range ds.Graph.EntityTypes {
+		for _, ty := range ts {
+			sizes[ty]++
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	if sizes[0] < 3*sizes[len(sizes)-1] {
+		t.Fatalf("type sizes not skewed: max=%d min=%d", sizes[0], sizes[len(sizes)-1])
+	}
+}
+
+// Property: generation never produces an invalid graph for random small
+// configs.
+func TestGeneratePropertyValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := Config{
+			Name:         "prop",
+			NumEntities:  50 + rng.Intn(200),
+			NumRelations: 2 + rng.Intn(12),
+			NumTypes:     2 + rng.Intn(15),
+			NumTriples:   500 + rng.Intn(1500),
+			ValidFrac:    0.05,
+			TestFrac:     0.05,
+			NoiseRate:    rng.Float64() * 0.05,
+			Seed:         seed,
+		}
+		ds, err := Generate(cfg)
+		if err != nil {
+			return false
+		}
+		return ds.Graph.Validate() == nil && len(ds.Graph.Train) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPresets(t *testing.T) {
+	names := map[string]bool{}
+	for _, cfg := range AllPresets() {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("preset %s invalid: %v", cfg.Name, err)
+		}
+		if names[cfg.Name] {
+			t.Errorf("duplicate preset name %s", cfg.Name)
+		}
+		names[cfg.Name] = true
+	}
+	if _, ok := PresetByName("codexs-sim"); !ok {
+		t.Error("PresetByName(codexs-sim) not found")
+	}
+	if _, ok := PresetByName("nope"); ok {
+		t.Error("PresetByName(nope) unexpectedly found")
+	}
+}
+
+// Smoke-generate the smallest presets end to end.
+func TestGenerateSmallPresets(t *testing.T) {
+	for _, cfg := range []Config{CoDExSSim(), CoDExMSim()} {
+		ds, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if got := ds.Graph.NumTriples(); got < cfg.NumTriples/2 {
+			t.Errorf("%s: generated %d triples, want ≥ %d", cfg.Name, got, cfg.NumTriples/2)
+		}
+	}
+}
+
+func TestCardinalityString(t *testing.T) {
+	want := map[Cardinality]string{OneToOne: "1-1", OneToMany: "1-M", ManyToOne: "M-1", ManyToMany: "M-N"}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("Cardinality(%d).String() = %q, want %q", c, c.String(), s)
+		}
+	}
+}

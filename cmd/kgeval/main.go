@@ -68,24 +68,9 @@ func main() {
 	}
 	kgc.Train(m, g, tc)
 
-	var rc recommender.Recommender
-	switch *rec {
-	case "PT":
-		rc = recommender.NewPT()
-	case "DBH":
-		rc = recommender.NewDBH()
-	case "DBH-T":
-		rc = recommender.NewDBHT()
-	case "OntoSim":
-		rc = recommender.NewOntoSim()
-	case "PIE":
-		rc = recommender.NewPIESim(*seed)
-	case "L-WD":
-		rc = recommender.NewLWD()
-	case "L-WD-T":
-		rc = recommender.NewLWDT()
-	default:
-		log.Fatalf("unknown recommender %q", *rec)
+	rc, err := recommender.ByName(*rec, *seed)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	n := *ns

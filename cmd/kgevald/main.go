@@ -1,0 +1,151 @@
+// Command kgevald serves link-predictor evaluation as a long-lived HTTP
+// service: submit serialized model snapshots as jobs, stream their progress,
+// and read estimated (or full) filtered ranking metrics back — the paper's
+// fast evaluation framework run as a system instead of a one-shot CLI.
+//
+// The server hosts one knowledge graph (a synthetic preset, or TSV files
+// produced by datagen) and amortizes recommender fitting across jobs through
+// an LRU cache of fitted frameworks.
+//
+// Usage:
+//
+//	kgevald -dataset wikikg2-sim -addr :8080
+//	kgevald -data ./data/codexs -workers 4 -cache 16
+//
+// API walkthrough (see README.md for a complete curl session):
+//
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/jobs -d @job.json
+//	curl -s localhost:8080/v1/jobs/j000001
+//	curl -N localhost:8080/v1/jobs/j000001/stream
+//	curl -s -X POST localhost:8080/v1/jobs/j000001/cancel
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"kgeval/internal/kg"
+	"kgeval/internal/service"
+	"kgeval/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("kgevald: ")
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		dataset     = flag.String("dataset", "wikikg2-sim", "synthetic dataset preset to host (ignored when -data is set)")
+		dataDir     = flag.String("data", "", "directory with train.tsv/valid.tsv/test.tsv (and optional types.tsv), e.g. datagen output")
+		workers     = flag.Int("workers", 2, "concurrently running jobs")
+		evalWorkers = flag.Int("eval-workers", 0, "scoring goroutines per job (0 = GOMAXPROCS)")
+		queue       = flag.Int("queue", 128, "queued-job limit")
+		cacheSize   = flag.Int("cache", 8, "fitted-framework LRU capacity")
+		ns          = flag.Int("ns", 0, "default candidate samples per relation/direction (0 = 10% of |E|)")
+		seed        = flag.Int64("seed", 1, "default seed for sampling and recommender fitting")
+	)
+	flag.Parse()
+
+	var g *kg.Graph
+	if *dataDir != "" {
+		var err error
+		g, err = loadDir(*dataDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		cfg, ok := synth.PresetByName(*dataset)
+		if !ok {
+			log.Fatalf("unknown dataset %q", *dataset)
+		}
+		log.Printf("generating %s...", *dataset)
+		ds, err := synth.Generate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g = ds.Graph
+	}
+	log.Printf("hosting %s: |E|=%d |R|=%d train=%d valid=%d test=%d",
+		g.Name, g.NumEntities, g.NumRelations, len(g.Train), len(g.Valid), len(g.Test))
+
+	engine, err := service.NewEngine(service.EngineConfig{
+		Graph:             g,
+		Workers:           *workers,
+		EvalWorkers:       *evalWorkers,
+		QueueDepth:        *queue,
+		CacheSize:         *cacheSize,
+		DefaultNumSamples: *ns,
+		DefaultSeed:       *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer engine.Close()
+
+	log.Printf("listening on %s (workers=%d cache=%d)", *addr, *workers, *cacheSize)
+	if err := http.ListenAndServe(*addr, service.NewServer(engine)); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// loadDir reads a datagen-style dataset directory. Entity/relation/type
+// counts are inferred from the maximum ids observed.
+func loadDir(dir string) (*kg.Graph, error) {
+	read := func(name string) ([]kg.Triple, error) {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return kg.ReadTriplesTSV(f)
+	}
+	train, err := read("train.tsv")
+	if err != nil {
+		return nil, err
+	}
+	valid, err := read("valid.tsv")
+	if err != nil {
+		return nil, err
+	}
+	test, err := read("test.tsv")
+	if err != nil {
+		return nil, err
+	}
+	g := &kg.Graph{Name: filepath.Base(dir), Train: train, Valid: valid, Test: test}
+	for _, ts := range [][]kg.Triple{train, valid, test} {
+		for _, t := range ts {
+			if int(t.H) >= g.NumEntities {
+				g.NumEntities = int(t.H) + 1
+			}
+			if int(t.T) >= g.NumEntities {
+				g.NumEntities = int(t.T) + 1
+			}
+			if int(t.R) >= g.NumRelations {
+				g.NumRelations = int(t.R) + 1
+			}
+		}
+	}
+	if f, err := os.Open(filepath.Join(dir, "types.tsv")); err == nil {
+		defer f.Close()
+		types, err := kg.ReadTypesTSV(f, g.NumEntities)
+		if err != nil {
+			return nil, err
+		}
+		g.EntityTypes = types
+		for _, ts := range types {
+			for _, t := range ts {
+				if int(t) >= g.NumTypes {
+					g.NumTypes = int(t) + 1
+				}
+			}
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("loading %s: %w", dir, err)
+	}
+	return g, nil
+}

@@ -9,11 +9,13 @@
 //	internal/recommender  relation recommenders: PT, DBH(-T), OntoSim,
 //	                      L-WD(-T), PIE-Sim
 //	internal/eval         full + sampled filtered ranking protocols
+//	internal/service      evaluation-as-a-service: job engine, framework
+//	                      cache and the kgevald HTTP API
 //	internal/kgc          TransE/DistMult/ComplEx/RESCAL/RotatE/TuckER/ConvE
 //	internal/kp           Knowledge Persistence baseline
 //	internal/synth        typed synthetic KG generator (dataset substitute)
 //	internal/experiments  regenerates every table and figure of the paper
 //	internal/{kg,sparse,sample,stats}  substrates
 //
-// See README.md for a tour and DESIGN.md for the per-experiment index.
+// See README.md for a tour, including the kgevald server walkthrough.
 package kgeval

@@ -1,0 +1,3 @@
+module kgeval
+
+go 1.24

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"kgeval/internal/kg"
+)
+
+// Fingerprint returns a stable digest of a graph's full contents: dimensions,
+// every triple of every split, and the entity-type assignment. Two graphs
+// with the same fingerprint yield identical fitted Frameworks (given the same
+// recommender and seed), so the digest is the graph component of the
+// service-layer cache key that lets Fit cost be amortized across evaluation
+// requests.
+func Fingerprint(g *kg.Graph) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	wu := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	wu(uint64(g.NumEntities))
+	wu(uint64(g.NumRelations))
+	wu(uint64(g.NumTypes))
+	writeTriples := func(ts []kg.Triple) {
+		wu(uint64(len(ts)))
+		for _, t := range ts {
+			wu(uint64(uint32(t.H))<<32 | uint64(uint32(t.T)))
+			wu(uint64(uint32(t.R)))
+		}
+	}
+	writeTriples(g.Train)
+	writeTriples(g.Valid)
+	writeTriples(g.Test)
+	wu(uint64(len(g.EntityTypes)))
+	for _, ts := range g.EntityTypes {
+		wu(uint64(len(ts)))
+		for _, t := range ts {
+			wu(uint64(uint32(t)))
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -16,6 +16,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"kgeval/internal/eval"
 	"kgeval/internal/kg"
@@ -56,13 +57,33 @@ func Strategies() []Strategy {
 	return []Strategy{StrategyRandom, StrategyProbabilistic, StrategyStatic}
 }
 
+// ParseStrategy maps a paper abbreviation ("R", "P", "S") or full name
+// ("random", "probabilistic", "static") to its Strategy.
+func ParseStrategy(s string) (Strategy, error) {
+	switch s {
+	case "R", "random":
+		return StrategyRandom, nil
+	case "P", "probabilistic":
+		return StrategyProbabilistic, nil
+	case "S", "static":
+		return StrategyStatic, nil
+	}
+	return 0, fmt.Errorf("core: unknown strategy %q (want R, P or S)", s)
+}
+
 // Framework bundles a relation recommender with a sample budget n_s and
 // exposes the paper's estimation pipeline.
+//
+// A fitted Framework may be shared: Fit is idempotent per graph and safe for
+// concurrent callers, and Estimate only reads fitted state, so one Framework
+// can serve many evaluations in parallel (the service layer relies on this
+// to amortize Fit cost across requests).
 type Framework struct {
 	Rec        recommender.Recommender
 	NumSamples int // n_s: candidates per (relation, direction)
 	Seed       int64
 
+	mu    sync.Mutex
 	graph *kg.Graph
 	sets  *recommender.CandidateSets
 }
@@ -74,8 +95,15 @@ func New(rec recommender.Recommender, numSamples int, seed int64) *Framework {
 
 // Fit runs the one-time preprocessing on a graph: fitting the relation
 // recommender on the training split and discretizing its score matrix into
-// static candidate sets.
+// static candidate sets. Fitting the same graph again is a no-op, and
+// concurrent callers are serialized, so racing requests for the same
+// Framework perform the preprocessing exactly once.
 func (f *Framework) Fit(g *kg.Graph) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.graph == g {
+		return nil
+	}
 	if err := f.Rec.Fit(g); err != nil {
 		return fmt.Errorf("core: fitting %s: %w", f.Rec.Name(), err)
 	}
@@ -85,17 +113,26 @@ func (f *Framework) Fit(g *kg.Graph) error {
 }
 
 // Sets returns the discretized candidate sets (available after Fit).
-func (f *Framework) Sets() *recommender.CandidateSets { return f.sets }
+func (f *Framework) Sets() *recommender.CandidateSets {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.sets
+}
 
 // Provider returns the candidate provider implementing the strategy.
 // Fit must have been called.
 func (f *Framework) Provider(s Strategy) eval.CandidateProvider {
-	f.mustBeFitted()
+	f.mu.Lock()
+	graph, sets := f.graph, f.sets
+	f.mu.Unlock()
+	if graph == nil {
+		panic("core: Framework used before Fit")
+	}
 	switch s {
 	case StrategyRandom:
-		return &eval.RandomProvider{NumEntities: f.graph.NumEntities, N: f.NumSamples}
+		return &eval.RandomProvider{NumEntities: graph.NumEntities, N: f.NumSamples}
 	case StrategyStatic:
-		return &eval.StaticProvider{Sets: f.sets, N: f.NumSamples}
+		return &eval.StaticProvider{Sets: sets, N: f.NumSamples}
 	case StrategyProbabilistic:
 		return &eval.ProbabilisticProvider{Scores: f.Rec.Scores(), N: f.NumSamples}
 	}
@@ -115,10 +152,4 @@ func (f *Framework) Estimate(m kgc.Model, g *kg.Graph, split []kg.Triple, s Stra
 // expensive ground truth the framework's estimates are compared against.
 func FullEvaluate(m kgc.Model, g *kg.Graph, split []kg.Triple, opts eval.Options) eval.Result {
 	return eval.Evaluate(m, g, split, eval.NewFullProvider(g.NumEntities), opts)
-}
-
-func (f *Framework) mustBeFitted() {
-	if f.graph == nil {
-		panic("core: Framework used before Fit")
-	}
 }

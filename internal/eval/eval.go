@@ -18,11 +18,13 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"kgeval/internal/kg"
@@ -64,6 +66,14 @@ type Options struct {
 	MaxQueries int
 	// Seed drives candidate sampling and the MaxQueries subsample.
 	Seed int64
+	// Ctx, when non-nil, allows cancelling an evaluation mid-pass. On
+	// cancellation Evaluate returns early with metrics computed over the
+	// queries completed so far (Result.Queries reflects the partial count).
+	Ctx context.Context
+	// Progress, when non-nil, is invoked after each evaluated triple with
+	// the number of triples completed and the total. It is called
+	// concurrently from worker goroutines and must be safe for that.
+	Progress func(done, total int)
 }
 
 func (o Options) workers() int {
@@ -121,10 +131,16 @@ func Evaluate(m kgc.Model, g *kg.Graph, split []kg.Triple, provider CandidatePro
 		headPools[r] = provider.Candidates(r, false, rng)
 	}
 
+	var cancel <-chan struct{}
+	if opts.Ctx != nil {
+		cancel = opts.Ctx.Done()
+	}
+
+	// Unprocessed queries (cancelled mid-pass) leave their rank at 0, which
+	// metricsFromRanks skips; processed ranks are always >= 1.
 	nw := opts.workers()
 	ranks := make([]float64, 2*len(queries))
-	var scored int64
-	var scoredMu sync.Mutex
+	var scored, done atomic.Int64
 	var wg sync.WaitGroup
 	chunk := (len(queries) + nw - 1) / nw
 	for w := 0; w < nw; w++ {
@@ -142,6 +158,14 @@ func Evaluate(m kgc.Model, g *kg.Graph, split []kg.Triple, provider CandidatePro
 			var buf []float64
 			var local int64
 			for i := lo; i < hi; i++ {
+				if cancel != nil {
+					select {
+					case <-cancel:
+						scored.Add(local)
+						return
+					default:
+					}
+				}
 				q := queries[i]
 				tp := tailPools[q.R]
 				if cap(buf) < len(tp) {
@@ -156,10 +180,14 @@ func Evaluate(m kgc.Model, g *kg.Graph, split []kg.Triple, provider CandidatePro
 				}
 				ranks[2*i+1] = rankHead(m, opts.Filter, q, hp, buf[:len(hp)])
 				local += int64(len(hp))
+
+				if opts.Progress != nil {
+					opts.Progress(int(done.Add(1)), len(queries))
+				} else {
+					done.Add(1)
+				}
 			}
-			scoredMu.Lock()
-			scored += local
-			scoredMu.Unlock()
+			scored.Add(local)
 		}(lo, hi)
 	}
 	wg.Wait()
@@ -167,7 +195,7 @@ func Evaluate(m kgc.Model, g *kg.Graph, split []kg.Triple, provider CandidatePro
 	res := Result{
 		Metrics:          metricsFromRanks(ranks),
 		Elapsed:          time.Since(start),
-		CandidatesScored: scored,
+		CandidatesScored: scored.Load(),
 	}
 	return res
 }
@@ -228,11 +256,12 @@ func containsSorted(sorted []int32, x int32) bool {
 }
 
 func metricsFromRanks(ranks []float64) Metrics {
-	m := Metrics{Queries: len(ranks)}
-	if len(ranks) == 0 {
-		return m
-	}
+	m := Metrics{}
 	for _, r := range ranks {
+		if r == 0 { // query skipped by cancellation
+			continue
+		}
+		m.Queries++
 		m.MRR += 1 / r
 		m.MR += r
 		if r <= 1 {
@@ -245,7 +274,10 @@ func metricsFromRanks(ranks []float64) Metrics {
 			m.Hits10++
 		}
 	}
-	n := float64(len(ranks))
+	if m.Queries == 0 {
+		return m
+	}
+	n := float64(m.Queries)
 	m.MRR /= n
 	m.MR /= n
 	m.Hits1 /= n

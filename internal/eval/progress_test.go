@@ -1,0 +1,91 @@
+package eval
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"kgeval/internal/kg"
+)
+
+func TestEvaluateProgressHook(t *testing.T) {
+	g := evalGraph(t)
+	filter := kg.NewFilterIndex(g.Train, g.Valid, g.Test)
+
+	var mu sync.Mutex
+	var calls int
+	maxDone := 0
+	opts := Options{
+		Filter:  filter,
+		Workers: 3,
+		Seed:    7,
+		Progress: func(done, total int) {
+			mu.Lock()
+			defer mu.Unlock()
+			calls++
+			if done > maxDone {
+				maxDone = done
+			}
+			if total != len(g.Test) {
+				t.Errorf("Progress total = %d, want %d", total, len(g.Test))
+			}
+		},
+	}
+	res := Evaluate(formulaModel{}, g, g.Test, &RandomProvider{NumEntities: g.NumEntities, N: 30}, opts)
+
+	if calls != len(g.Test) {
+		t.Fatalf("Progress called %d times, want %d", calls, len(g.Test))
+	}
+	if maxDone != len(g.Test) {
+		t.Fatalf("max Progress done = %d, want %d", maxDone, len(g.Test))
+	}
+	if res.Queries != 2*len(g.Test) {
+		t.Fatalf("Queries = %d, want %d", res.Queries, 2*len(g.Test))
+	}
+
+	// The hook must not perturb the metrics: same seed, no hook.
+	plain := Evaluate(formulaModel{}, g, g.Test, &RandomProvider{NumEntities: g.NumEntities, N: 30}, Options{Filter: filter, Workers: 1, Seed: 7})
+	if plain.MRR != res.MRR || plain.CandidatesScored != res.CandidatesScored {
+		t.Fatalf("hooked run diverged: MRR %v vs %v, scored %d vs %d",
+			res.MRR, plain.MRR, res.CandidatesScored, plain.CandidatesScored)
+	}
+}
+
+func TestEvaluateCancellation(t *testing.T) {
+	g := evalGraph(t)
+	filter := kg.NewFilterIndex(g.Train, g.Valid, g.Test)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: no query should run
+	res := Evaluate(formulaModel{}, g, g.Test, &RandomProvider{NumEntities: g.NumEntities, N: 30},
+		Options{Filter: filter, Workers: 2, Seed: 7, Ctx: ctx})
+	if res.Queries != 0 {
+		t.Fatalf("pre-cancelled evaluation processed %d queries, want 0", res.Queries)
+	}
+	if res.MRR != 0 || res.CandidatesScored != 0 {
+		t.Fatalf("pre-cancelled evaluation produced MRR=%v scored=%d", res.MRR, res.CandidatesScored)
+	}
+
+	// Cancel mid-pass from the progress hook: the pass must stop early and
+	// report metrics over a partial prefix only.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	opts := Options{
+		Filter: filter, Workers: 1, Seed: 7, Ctx: ctx2,
+		Progress: func(done, total int) {
+			if done >= 5 {
+				cancel2()
+			}
+		},
+	}
+	partial := Evaluate(formulaModel{}, g, g.Test, &RandomProvider{NumEntities: g.NumEntities, N: 30}, opts)
+	if partial.Queries == 0 {
+		t.Fatal("mid-pass cancellation processed no queries")
+	}
+	if partial.Queries >= 2*len(g.Test) {
+		t.Fatalf("mid-pass cancellation processed all %d queries", partial.Queries)
+	}
+	if partial.MRR <= 0 || partial.MRR > 1 {
+		t.Fatalf("partial MRR = %v out of (0,1]", partial.MRR)
+	}
+}

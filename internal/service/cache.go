@@ -1,0 +1,111 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"kgeval/internal/core"
+)
+
+// CacheKey identifies a fitted Framework: the graph contents (via
+// core.Fingerprint), the recommender, and the candidate budget n_s. Jobs
+// that agree on all three share one Fit.
+type CacheKey struct {
+	Graph       string
+	Recommender string
+	NumSamples  int
+}
+
+// cacheEntry is a once-built Framework slot. ready is closed when the build
+// finishes; waiters then read fw/err without further synchronization.
+type cacheEntry struct {
+	key   CacheKey
+	ready chan struct{}
+	fw    *core.Framework
+	err   error
+}
+
+// FrameworkCache is an LRU of fitted core.Frameworks with single-flight
+// building: concurrent Get calls for the same key trigger exactly one
+// build, and every other caller blocks on it (and counts as a hit, since
+// the Fit cost is shared). Failed builds are evicted so later requests
+// retry.
+type FrameworkCache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // *cacheEntry; front = most recently used
+	entries map[CacheKey]*list.Element
+	hits    int64
+	misses  int64
+}
+
+// NewFrameworkCache creates a cache holding at most capacity fitted
+// frameworks (minimum 1).
+func NewFrameworkCache(capacity int) *FrameworkCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &FrameworkCache{
+		cap:     capacity,
+		ll:      list.New(),
+		entries: map[CacheKey]*list.Element{},
+	}
+}
+
+// Get returns the framework for key, building it with build on a miss. The
+// second return reports whether the call was served by an existing (possibly
+// still in-flight) entry.
+func (c *FrameworkCache) Get(key CacheKey, build func() (*core.Framework, error)) (*core.Framework, bool, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.hits++
+		c.ll.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		c.mu.Unlock()
+		<-e.ready
+		return e.fw, true, e.err
+	}
+	c.misses++
+	e := &cacheEntry{key: key, ready: make(chan struct{})}
+	el := c.ll.PushFront(e)
+	c.entries[key] = el
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+	c.mu.Unlock()
+
+	e.fw, e.err = build()
+	close(e.ready)
+	if e.err != nil {
+		c.remove(key, el)
+	}
+	return e.fw, false, e.err
+}
+
+// remove drops the entry for key if el still holds it (it may already have
+// been evicted, or replaced after an eviction).
+func (c *FrameworkCache) remove(key CacheKey, el *list.Element) {
+	c.mu.Lock()
+	if cur, ok := c.entries[key]; ok && cur == el {
+		c.ll.Remove(el)
+		delete(c.entries, key)
+	}
+	c.mu.Unlock()
+}
+
+// CacheStats reports cumulative cache traffic.
+type CacheStats struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	Size   int   `json:"size"`
+	Cap    int   `json:"cap"`
+}
+
+// Stats snapshots hit/miss counters and occupancy.
+func (c *FrameworkCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Size: c.ll.Len(), Cap: c.cap}
+}

@@ -1,0 +1,109 @@
+package service
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kgeval/internal/core"
+	"kgeval/internal/recommender"
+)
+
+func fwBuilder(builds *atomic.Int64, delay time.Duration) func() (*core.Framework, error) {
+	return func() (*core.Framework, error) {
+		builds.Add(1)
+		time.Sleep(delay)
+		return core.New(recommender.NewLWD(), 10, 1), nil
+	}
+}
+
+func TestCacheSingleFlight(t *testing.T) {
+	c := NewFrameworkCache(4)
+	key := CacheKey{Graph: "g", Recommender: "L-WD", NumSamples: 10}
+	var builds atomic.Int64
+	const callers = 8
+
+	var wg sync.WaitGroup
+	hits := make([]bool, callers)
+	fws := make([]*core.Framework, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fw, hit, err := c.Get(key, fwBuilder(&builds, 20*time.Millisecond))
+			if err != nil {
+				t.Error(err)
+			}
+			fws[i], hits[i] = fw, hit
+		}(i)
+	}
+	wg.Wait()
+
+	if builds.Load() != 1 {
+		t.Fatalf("build ran %d times for one key, want 1", builds.Load())
+	}
+	nhits := 0
+	for i := 1; i < callers; i++ {
+		if fws[i] != fws[0] {
+			t.Fatal("callers received different frameworks for the same key")
+		}
+	}
+	for _, h := range hits {
+		if h {
+			nhits++
+		}
+	}
+	if nhits != callers-1 {
+		t.Fatalf("%d hits, want %d", nhits, callers-1)
+	}
+	st := c.Stats()
+	if st.Hits != callers-1 || st.Misses != 1 || st.Size != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewFrameworkCache(2)
+	var builds atomic.Int64
+	get := func(graph string) {
+		t.Helper()
+		if _, _, err := c.Get(CacheKey{Graph: graph}, fwBuilder(&builds, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	get("a") // miss: [a]
+	get("b") // miss: [b a]
+	get("a") // hit:  [a b]
+	get("c") // miss, evicts b: [c a]
+	get("a") // hit:  [a c]
+	get("b") // miss again (evicted): [b a]
+	if builds.Load() != 4 {
+		t.Fatalf("build ran %d times, want 4 (a, b, c, b-again)", builds.Load())
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 4 || st.Size != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheErrorNotCached(t *testing.T) {
+	c := NewFrameworkCache(2)
+	key := CacheKey{Graph: "g"}
+	boom := errors.New("fit failed")
+	if _, _, err := c.Get(key, func() (*core.Framework, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	var builds atomic.Int64
+	fw, hit, err := c.Get(key, fwBuilder(&builds, 0))
+	if err != nil || fw == nil {
+		t.Fatalf("retry after failed build: fw=%v err=%v", fw, err)
+	}
+	if hit {
+		t.Fatal("retry after failed build reported a cache hit")
+	}
+	if builds.Load() != 1 {
+		t.Fatal("retry did not rebuild")
+	}
+}

@@ -1,0 +1,371 @@
+package service
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+
+	"kgeval/internal/core"
+	"kgeval/internal/eval"
+	"kgeval/internal/kg"
+	"kgeval/internal/kgc"
+	"kgeval/internal/recommender"
+)
+
+// EngineConfig configures an evaluation engine for one host graph.
+type EngineConfig struct {
+	// Graph is the knowledge graph every job evaluates against. Required.
+	Graph *kg.Graph
+	// Workers bounds concurrently running jobs (default 2). Each job can
+	// additionally parallelize its own scoring via EvalWorkers.
+	Workers int
+	// QueueDepth bounds jobs waiting for a worker (default 128); Submit
+	// fails fast once the queue is full.
+	QueueDepth int
+	// CacheSize bounds the fitted-Framework LRU (default 8 entries).
+	CacheSize int
+	// EvalWorkers is the per-job scoring parallelism (0 = GOMAXPROCS).
+	EvalWorkers int
+	// DefaultNumSamples is the n_s used when a job leaves it 0
+	// (default |E|/10, the paper's 10% budget).
+	DefaultNumSamples int
+	// DefaultSeed seeds candidate sampling for jobs that leave Seed 0, and
+	// always seeds recommender fitting so cached Frameworks stay
+	// deterministic per server (default 1).
+	DefaultSeed int64
+	// RetainJobs bounds the job index: once exceeded, the oldest terminal
+	// jobs are evicted on submission (default 4096).
+	RetainJobs int
+}
+
+// ErrQueueFull is returned by Submit when the job queue is saturated.
+var ErrQueueFull = errors.New("service: job queue full")
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("service: engine closed")
+
+// Engine owns a graph, a fitted-Framework cache and a bounded worker pool,
+// executing evaluation jobs submitted against the graph.
+type Engine struct {
+	cfg    EngineConfig
+	graph  *kg.Graph
+	fp     string
+	filter *kg.FilterIndex
+	cache  *FrameworkCache
+
+	queue chan *Job
+	quit  chan struct{}
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []*Job // submission order, for listing
+	nextID int64
+	closed bool
+}
+
+// NewEngine validates the config, builds the filtered-protocol index once,
+// and starts the worker pool.
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	if cfg.Graph == nil {
+		return nil, errors.New("service: EngineConfig.Graph is required")
+	}
+	if err := cfg.Graph.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 128
+	}
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 8
+	}
+	if cfg.DefaultNumSamples <= 0 {
+		cfg.DefaultNumSamples = cfg.Graph.NumEntities / 10
+	}
+	if cfg.DefaultSeed == 0 {
+		cfg.DefaultSeed = 1
+	}
+	if cfg.RetainJobs <= 0 {
+		cfg.RetainJobs = 4096
+	}
+	e := &Engine{
+		cfg:    cfg,
+		graph:  cfg.Graph,
+		fp:     core.Fingerprint(cfg.Graph),
+		filter: kg.NewFilterIndex(cfg.Graph.Train, cfg.Graph.Valid, cfg.Graph.Test),
+		cache:  NewFrameworkCache(cfg.CacheSize),
+		queue:  make(chan *Job, cfg.QueueDepth),
+		quit:   make(chan struct{}),
+		jobs:   map[string]*Job{},
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e, nil
+}
+
+// Graph returns the engine's host graph.
+func (e *Engine) Graph() *kg.Graph { return e.graph }
+
+// Fingerprint returns the host graph's content fingerprint.
+func (e *Engine) Fingerprint() string { return e.fp }
+
+// Submit validates the spec, registers a job and enqueues it. The job is
+// returned in state queued (or, under races, already beyond it).
+func (e *Engine) Submit(spec JobSpec) (*Job, error) {
+	spec = e.withDefaults(spec)
+	if err := e.validate(spec); err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	e.nextID++
+	j := newJob(fmt.Sprintf("j%06d", e.nextID), spec)
+	// Registration and the non-blocking enqueue stay in one critical
+	// section so a queue-full rejection never rolls back another
+	// goroutine's registration.
+	select {
+	case e.queue <- j:
+	default:
+		return nil, ErrQueueFull
+	}
+	e.jobs[j.ID] = j
+	e.order = append(e.order, j)
+	e.pruneLocked()
+	return j, nil
+}
+
+// pruneLocked evicts the oldest terminal jobs beyond the retention cap, so
+// a long-lived server's job index stays bounded. Queued/running jobs are
+// never evicted. Caller holds e.mu.
+func (e *Engine) pruneLocked() {
+	excess := len(e.order) - e.cfg.RetainJobs
+	if excess <= 0 {
+		return
+	}
+	kept := e.order[:0]
+	for _, j := range e.order {
+		if excess > 0 && j.State().Terminal() {
+			delete(e.jobs, j.ID)
+			excess--
+			continue
+		}
+		kept = append(kept, j)
+	}
+	e.order = kept
+}
+
+func (e *Engine) withDefaults(spec JobSpec) JobSpec {
+	if spec.Split == "" {
+		spec.Split = "test"
+	}
+	if spec.Strategy == "" {
+		spec.Strategy = "P"
+	}
+	if spec.Recommender == "" {
+		spec.Recommender = "L-WD"
+	}
+	if spec.NumSamples <= 0 {
+		spec.NumSamples = e.cfg.DefaultNumSamples
+	}
+	if spec.Seed == 0 {
+		spec.Seed = e.cfg.DefaultSeed
+	}
+	return spec
+}
+
+func (e *Engine) validate(spec JobSpec) error {
+	if spec.Model.Name == "" {
+		return errors.New("service: model.name is required")
+	}
+	known := false
+	for _, n := range kgc.ModelNames() {
+		if n == spec.Model.Name {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return fmt.Errorf("service: unknown model %q", spec.Model.Name)
+	}
+	if spec.Model.Dim <= 0 {
+		return errors.New("service: model.dim must be positive")
+	}
+	if len(spec.Model.Snapshot) == 0 {
+		return errors.New("service: model.snapshot is required")
+	}
+	if spec.Split != "test" && spec.Split != "valid" {
+		return fmt.Errorf("service: unknown split %q (want test or valid)", spec.Split)
+	}
+	if spec.Strategy != "full" {
+		if _, err := core.ParseStrategy(spec.Strategy); err != nil {
+			return fmt.Errorf("service: %w (or \"full\")", err)
+		}
+		if _, err := recommender.ByName(spec.Recommender, e.cfg.DefaultSeed); err != nil {
+			return err
+		}
+	}
+	if spec.MaxQueries < 0 {
+		return errors.New("service: max_queries must be >= 0")
+	}
+	return nil
+}
+
+// Get returns a job by id.
+func (e *Engine) Get(id string) (*Job, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	return j, ok
+}
+
+// Jobs lists all jobs in submission order.
+func (e *Engine) Jobs() []*Job {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]*Job(nil), e.order...)
+}
+
+// Close stops accepting jobs, cancels everything pending or running, and
+// waits for the workers to drain.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	jobs := append([]*Job(nil), e.order...)
+	e.mu.Unlock()
+
+	close(e.quit)
+	for _, j := range jobs {
+		j.Cancel()
+	}
+	e.wg.Wait()
+}
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for {
+		select {
+		case <-e.quit:
+			return
+		case j := <-e.queue:
+			e.run(j)
+		}
+	}
+}
+
+func (e *Engine) run(j *Job) {
+	if !j.transition(StateRunning, nil) {
+		return // cancelled while queued
+	}
+	res, cacheHit, err := e.execute(j)
+	switch {
+	case j.ctx.Err() != nil:
+		// Cancel already finalized the state; nothing to record.
+	case err != nil:
+		j.fail(err)
+	default:
+		j.succeed(res, cacheHit)
+	}
+}
+
+// execute performs the evaluation work of one job: reconstruct the model
+// from its snapshot, resolve (or fit) the framework, and run the protocol.
+func (e *Engine) execute(j *Job) (eval.Result, bool, error) {
+	spec := j.Spec
+	m, err := kgc.New(spec.Model.Name, e.graph, spec.Model.Dim, spec.Model.Seed)
+	if err != nil {
+		return eval.Result{}, false, err
+	}
+	err = kgc.Load(bytes.NewReader(spec.Model.Snapshot), m)
+	// The snapshot bytes (potentially many MB) are never needed again and
+	// never exposed via Status; drop them so retained jobs stay small.
+	j.mu.Lock()
+	j.Spec.Model.Snapshot = nil
+	j.mu.Unlock()
+	if err != nil {
+		return eval.Result{}, false, fmt.Errorf("service: loading model snapshot: %w", err)
+	}
+
+	split := e.graph.Test
+	if spec.Split == "valid" {
+		split = e.graph.Valid
+	}
+	opts := eval.Options{
+		Filter:     e.filter,
+		Workers:    e.cfg.EvalWorkers,
+		MaxQueries: spec.MaxQueries,
+		Seed:       spec.Seed,
+		Ctx:        j.ctx,
+		Progress:   j.setProgress,
+	}
+
+	if spec.Strategy == "full" {
+		res := eval.Evaluate(m, e.graph, split, eval.NewFullProvider(e.graph.NumEntities), opts)
+		return res, false, nil
+	}
+
+	strategy, err := core.ParseStrategy(spec.Strategy)
+	if err != nil {
+		return eval.Result{}, false, err
+	}
+	key := CacheKey{Graph: e.fp, Recommender: spec.Recommender, NumSamples: spec.NumSamples}
+	fw, cacheHit, err := e.cache.Get(key, func() (*core.Framework, error) {
+		rec, err := recommender.ByName(spec.Recommender, e.cfg.DefaultSeed)
+		if err != nil {
+			return nil, err
+		}
+		fw := core.New(rec, spec.NumSamples, e.cfg.DefaultSeed)
+		if err := fw.Fit(e.graph); err != nil {
+			return nil, err
+		}
+		return fw, nil
+	})
+	if err != nil {
+		return eval.Result{}, cacheHit, err
+	}
+	res := eval.Evaluate(m, e.graph, split, fw.Provider(strategy), opts)
+	return res, cacheHit, nil
+}
+
+// EngineStats aggregates engine-level counters for the stats endpoint.
+type EngineStats struct {
+	Jobs      map[State]int `json:"jobs"`
+	QueueLen  int           `json:"queue_len"`
+	QueueCap  int           `json:"queue_cap"`
+	Workers   int           `json:"workers"`
+	Cache     CacheStats    `json:"cache"`
+	GraphName string        `json:"graph"`
+	GraphFP   string        `json:"graph_fingerprint"`
+}
+
+// Stats snapshots job counts by state, queue occupancy and cache traffic.
+func (e *Engine) Stats() EngineStats {
+	e.mu.Lock()
+	jobs := append([]*Job(nil), e.order...)
+	e.mu.Unlock()
+	st := EngineStats{
+		Jobs:      map[State]int{},
+		QueueLen:  len(e.queue),
+		QueueCap:  cap(e.queue),
+		Workers:   e.cfg.Workers,
+		Cache:     e.cache.Stats(),
+		GraphName: e.graph.Name,
+		GraphFP:   e.fp,
+	}
+	for _, j := range jobs {
+		st.Jobs[j.State()]++
+	}
+	return st
+}

@@ -1,0 +1,322 @@
+// Package service turns the kgeval library into a long-lived evaluation
+// system: the paper's argument is that a fitted recommender plus 2·|R|
+// candidate samplings makes link-predictor evaluation cheap enough to run
+// constantly, which pays off only when evaluations can be submitted, queued
+// and served behind one API instead of one-shot CLI runs.
+//
+// The package provides three layers:
+//
+//	Job             a queued evaluation request with observable state
+//	                transitions, incremental progress and cancellation;
+//	FrameworkCache  an LRU of fitted core.Frameworks keyed by graph
+//	                fingerprint + recommender + n_s, so Fit cost is paid
+//	                once and amortized across requests;
+//	Engine          a bounded worker pool executing jobs against a host
+//	                graph, with per-job context cancellation.
+//
+// NewServer wraps an Engine in an HTTP/JSON API (job submission, status,
+// SSE progress streaming, cancellation); cmd/kgevald is the binary.
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"kgeval/internal/eval"
+)
+
+// State is a job's lifecycle phase. Valid transitions:
+//
+//	queued → running → succeeded | failed | canceled
+//	queued → canceled            (cancelled before a worker picked it up)
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateSucceeded State = "succeeded"
+	StateFailed    State = "failed"
+	StateCanceled  State = "canceled"
+)
+
+// Terminal reports whether no further transitions can occur.
+func (s State) Terminal() bool {
+	return s == StateSucceeded || s == StateFailed || s == StateCanceled
+}
+
+// ModelSpec identifies a serialized model snapshot. The snapshot bytes are
+// the kgc.Save wire format; Name/Dim/Seed are the constructor arguments the
+// snapshot was saved under (kgc.Load requires a matching architecture).
+// encoding/json transports Snapshot as base64.
+type ModelSpec struct {
+	Name     string `json:"name"`
+	Dim      int    `json:"dim"`
+	Seed     int64  `json:"seed,omitempty"`
+	Snapshot []byte `json:"snapshot"`
+}
+
+// JobSpec is the submission payload for one evaluation.
+type JobSpec struct {
+	Model ModelSpec `json:"model"`
+	// Split selects the query set: "test" (default) or "valid".
+	Split string `json:"split,omitempty"`
+	// Strategy is "R", "P" or "S" (core.ParseStrategy), or "full" for the
+	// exhaustive filtered protocol the estimates are compared against.
+	Strategy string `json:"strategy,omitempty"`
+	// Recommender names the relation recommender (recommender.ByName);
+	// default L-WD. Ignored for strategy "full".
+	Recommender string `json:"recommender,omitempty"`
+	// NumSamples is the per-(relation, direction) candidate budget n_s;
+	// 0 means the engine default (|E|/10).
+	NumSamples int `json:"num_samples,omitempty"`
+	// MaxQueries bounds the evaluated triples (0 = whole split).
+	MaxQueries int `json:"max_queries,omitempty"`
+	// Seed drives candidate sampling; 0 means the engine default.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// Progress is a monotone completion counter over the job's query triples.
+type Progress struct {
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+// Event is one element of a job's progress stream.
+type Event struct {
+	Type     string    `json:"type"` // "state" or "progress"
+	State    State     `json:"state"`
+	Progress *Progress `json:"progress,omitempty"`
+}
+
+// Job is one queued evaluation. All exported access is through snapshot and
+// subscription methods; fields are guarded by mu.
+type Job struct {
+	ID   string
+	Spec JobSpec
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	state    State
+	progress Progress
+	result   *eval.Result
+	errMsg   string
+	cacheHit bool
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	subs     map[chan Event]struct{}
+}
+
+func newJob(id string, spec JobSpec) *Job {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Job{
+		ID:      id,
+		Spec:    spec,
+		ctx:     ctx,
+		cancel:  cancel,
+		state:   StateQueued,
+		created: time.Now(),
+		subs:    map[chan Event]struct{}{},
+	}
+}
+
+// transition moves the job to next if the move is legal, returning whether
+// it happened. The optional onApply runs under the job lock, atomically with
+// the state change (used to attach results/errors). Terminal states close
+// every subscriber channel, after which subscribers read the final state via
+// Status.
+func (j *Job) transition(next State, onApply func()) bool {
+	j.mu.Lock()
+	if !validTransition(j.state, next) {
+		j.mu.Unlock()
+		return false
+	}
+	j.state = next
+	switch next {
+	case StateRunning:
+		j.started = time.Now()
+	case StateSucceeded, StateFailed, StateCanceled:
+		j.finished = time.Now()
+	}
+	if onApply != nil {
+		onApply()
+	}
+	j.publishLocked(Event{Type: "state", State: next})
+	if next.Terminal() {
+		for ch := range j.subs {
+			close(ch)
+		}
+		j.subs = map[chan Event]struct{}{}
+	}
+	j.mu.Unlock()
+	return true
+}
+
+func validTransition(from, to State) bool {
+	switch from {
+	case StateQueued:
+		return to == StateRunning || to == StateCanceled
+	case StateRunning:
+		return to == StateSucceeded || to == StateFailed || to == StateCanceled
+	}
+	return false
+}
+
+// Cancel requests cancellation. The job's state flips to canceled
+// immediately (whether queued or running) and its context is cancelled so an
+// in-flight Evaluate stops at the next query boundary; the worker's later
+// succeed/fail attempt becomes a no-op. Cancelling a terminal job has no
+// effect. Returns whether the state changed.
+func (j *Job) Cancel() bool {
+	j.cancel()
+	return j.transition(StateCanceled, nil)
+}
+
+// setProgress records done/total and publishes a progress event. Safe for
+// concurrent calls (it is the eval.Options.Progress hook). Publishes are
+// coalesced to ~0.5% steps (always including completion), so a large split
+// doesn't fan out one event — and one Status marshal per SSE subscriber —
+// per evaluated triple.
+func (j *Job) setProgress(done, total int) {
+	step := total / 200
+	if step < 1 {
+		step = 1
+	}
+	j.mu.Lock()
+	if (done > j.progress.Done || total != j.progress.Total) &&
+		(done == total || done-j.progress.Done >= step) {
+		j.progress = Progress{Done: done, Total: total}
+		p := j.progress
+		j.publishLocked(Event{Type: "progress", State: j.state, Progress: &p})
+	}
+	j.mu.Unlock()
+}
+
+func (j *Job) succeed(res eval.Result, cacheHit bool) bool {
+	return j.transition(StateSucceeded, func() {
+		j.result = &res
+		j.cacheHit = cacheHit
+	})
+}
+
+func (j *Job) fail(err error) bool {
+	return j.transition(StateFailed, func() { j.errMsg = err.Error() })
+}
+
+// publishLocked fans an event out to subscribers without blocking: a
+// subscriber whose buffer is full loses intermediate progress events, never
+// the terminal state (terminal delivery is by channel close + Status).
+func (j *Job) publishLocked(ev Event) {
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// Subscribe registers a progress listener. The returned channel is closed
+// when the job reaches a terminal state (immediately, if it already has);
+// cancel the subscription with the returned func. Intermediate progress
+// events may be dropped under backpressure, but Done values are monotone.
+func (j *Job) Subscribe() (<-chan Event, func()) {
+	ch := make(chan Event, 64)
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		close(ch)
+		return ch, func() {}
+	}
+	j.subs[ch] = struct{}{}
+	j.mu.Unlock()
+	return ch, func() {
+		j.mu.Lock()
+		if _, ok := j.subs[ch]; ok {
+			delete(j.subs, ch)
+			close(ch)
+		}
+		j.mu.Unlock()
+	}
+}
+
+// ResultStatus is the JSON form of an evaluation result.
+type ResultStatus struct {
+	MRR              float64 `json:"mrr"`
+	Hits1            float64 `json:"hits1"`
+	Hits3            float64 `json:"hits3"`
+	Hits10           float64 `json:"hits10"`
+	MR               float64 `json:"mr"`
+	Queries          int     `json:"queries"`
+	CandidatesScored int64   `json:"candidates_scored"`
+	ElapsedMS        float64 `json:"elapsed_ms"`
+}
+
+// Status is a point-in-time snapshot of a job, also the API's JSON shape.
+type Status struct {
+	ID          string        `json:"id"`
+	State       State         `json:"state"`
+	Model       string        `json:"model"`
+	Split       string        `json:"split"`
+	Strategy    string        `json:"strategy"`
+	Recommender string        `json:"recommender,omitempty"`
+	NumSamples  int           `json:"num_samples,omitempty"`
+	CacheHit    bool          `json:"cache_hit"`
+	Progress    Progress      `json:"progress"`
+	Result      *ResultStatus `json:"result,omitempty"`
+	Error       string        `json:"error,omitempty"`
+	CreatedAt   time.Time     `json:"created_at"`
+	StartedAt   *time.Time    `json:"started_at,omitempty"`
+	FinishedAt  *time.Time    `json:"finished_at,omitempty"`
+}
+
+// Status snapshots the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:          j.ID,
+		State:       j.state,
+		Model:       j.Spec.Model.Name,
+		Split:       j.Spec.Split,
+		Strategy:    j.Spec.Strategy,
+		Recommender: j.Spec.Recommender,
+		NumSamples:  j.Spec.NumSamples,
+		CacheHit:    j.cacheHit,
+		Progress:    j.progress,
+		Error:       j.errMsg,
+		CreatedAt:   j.created,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	if j.result != nil {
+		r := j.result
+		st.Result = &ResultStatus{
+			MRR: r.MRR, Hits1: r.Hits1, Hits3: r.Hits3, Hits10: r.Hits10,
+			MR: r.MR, Queries: r.Queries,
+			CandidatesScored: r.CandidatesScored,
+			ElapsedMS:        float64(r.Elapsed) / float64(time.Millisecond),
+		}
+	}
+	return st
+}
+
+// State returns the job's current state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+func (s State) String() string { return string(s) }
+
+var _ fmt.Stringer = StateQueued

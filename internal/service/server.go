@@ -1,0 +1,192 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// NewServer wraps an Engine in the kgevald HTTP/JSON API:
+//
+//	POST   /v1/jobs              submit a JobSpec, returns the job Status (202)
+//	GET    /v1/jobs              list job Statuses in submission order
+//	GET    /v1/jobs/{id}         one job's Status
+//	GET    /v1/jobs/{id}/stream  Server-Sent Events progress stream
+//	POST   /v1/jobs/{id}/cancel  cancel a queued or running job
+//	DELETE /v1/jobs/{id}         same as cancel
+//	GET    /v1/stats             engine + cache counters
+//	GET    /healthz              liveness + host graph summary
+//
+// The handler is safe for concurrent use; all state lives in the Engine.
+func NewServer(e *Engine) http.Handler {
+	s := &server{engine: e}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	return mux
+}
+
+type server struct {
+	engine *Engine
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client went away; nothing to do
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	g := s.engine.Graph()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"graph":       g.Name,
+		"entities":    g.NumEntities,
+		"relations":   g.NumRelations,
+		"fingerprint": s.engine.Fingerprint(),
+	})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.engine.Stats())
+}
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding job spec: %w", err))
+		return
+	}
+	j, err := s.engine.Submit(spec)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrClosed) {
+			code = http.StatusServiceUnavailable
+		}
+		writeError(w, code, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.ID)
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.engine.Jobs()
+	out := make([]Status, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.engine.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.job(w, r); ok {
+		writeJSON(w, http.StatusOK, j.Status())
+	}
+}
+
+func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	changed := j.Cancel()
+	st := j.Status()
+	if !changed && st.State != StateCanceled {
+		writeError(w, http.StatusConflict, fmt.Errorf("job %s already %s", j.ID, st.State))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleStream serves a job's progress as Server-Sent Events. Each event is
+// one of:
+//
+//	event: state     data: {Status}   on every state transition
+//	event: progress  data: {Status}   as queries complete (may be coalesced)
+//	event: done      data: {Status}   terminal snapshot, then the stream ends
+//
+// The first event is always a snapshot of the current state, so late
+// subscribers start consistent.
+func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("response writer does not support streaming"))
+		return
+	}
+	ch, unsubscribe := j.Subscribe()
+	defer unsubscribe()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	send := func(event string) bool {
+		data, err := json.Marshal(j.Status())
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+
+	if !send("state") {
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-ch:
+			if !ok {
+				send("done") // terminal snapshot closes the stream
+				return
+			}
+			// Progress events buffered before the job finished would all
+			// render the same terminal snapshot now; the done event covers it.
+			if ev.Type == "progress" && j.State().Terminal() {
+				continue
+			}
+			if !send(ev.Type) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,452 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"kgeval/internal/kg"
+	"kgeval/internal/kgc"
+	"kgeval/internal/synth"
+)
+
+var (
+	testGraphOnce sync.Once
+	testGraph     *kg.Graph
+)
+
+// serviceGraph returns a shared mid-sized graph: big enough that a "full"
+// protocol job runs for tens of milliseconds (so cancellation can land
+// mid-flight), small enough to keep the suite fast.
+func serviceGraph(t *testing.T) *kg.Graph {
+	t.Helper()
+	testGraphOnce.Do(func() {
+		ds, err := synth.Generate(synth.Config{
+			Name: "service-test", NumEntities: 800, NumRelations: 10, NumTypes: 10,
+			NumTriples: 8000, ValidFrac: 0.06, TestFrac: 0.06, Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		testGraph = ds.Graph
+	})
+	return testGraph
+}
+
+// snapshotModel serializes a freshly initialized model — random embeddings
+// rank honestly, so evaluations still produce non-zero MRR, without paying
+// for training in tests.
+func snapshotModel(t *testing.T, g *kg.Graph, name string, dim int, seed int64) []byte {
+	t.Helper()
+	m, err := kgc.New(name, g, dim, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := kgc.Save(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func newTestServer(t *testing.T, cfg EngineConfig) (*httptest.Server, *Engine) {
+	t.Helper()
+	cfg.Graph = serviceGraph(t)
+	engine, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(engine.Close)
+	srv := httptest.NewServer(NewServer(engine))
+	t.Cleanup(srv.Close)
+	return srv, engine
+}
+
+func submitJob(t *testing.T, base string, spec JobSpec) Status {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit returned %s", resp.Status)
+	}
+	return st
+}
+
+func getStatus(t *testing.T, base, id string) Status {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func waitTerminal(t *testing.T, base, id string) Status {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		st := getStatus(t, base, id)
+		if st.State.Terminal() {
+			return st
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached a terminal state", id)
+	return Status{}
+}
+
+// TestServerConcurrentJobsShareFramework is the acceptance scenario: two
+// different serialized models submitted against the same graph both complete
+// with non-zero MRR, and the framework fitted for the first is reused by the
+// second (observable through the cache-hit counter).
+func TestServerConcurrentJobsShareFramework(t *testing.T) {
+	srv, engine := newTestServer(t, EngineConfig{Workers: 2})
+	g := engine.Graph()
+
+	specs := []JobSpec{
+		{Model: ModelSpec{Name: "ComplEx", Dim: 16, Seed: 3, Snapshot: snapshotModel(t, g, "ComplEx", 16, 3)}, Strategy: "P"},
+		{Model: ModelSpec{Name: "DistMult", Dim: 16, Seed: 4, Snapshot: snapshotModel(t, g, "DistMult", 16, 4)}, Strategy: "P"},
+	}
+	ids := make([]string, len(specs))
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, spec JobSpec) {
+			defer wg.Done()
+			ids[i] = submitJob(t, srv.URL, spec).ID
+		}(i, spec)
+	}
+	wg.Wait()
+
+	hits := 0
+	for i, id := range ids {
+		st := waitTerminal(t, srv.URL, id)
+		if st.State != StateSucceeded {
+			t.Fatalf("job %s (%s): state %s, error %q", id, specs[i].Model.Name, st.State, st.Error)
+		}
+		if st.Result == nil || st.Result.MRR <= 0 {
+			t.Fatalf("job %s: missing or zero-MRR result: %+v", id, st.Result)
+		}
+		if st.Result.Queries != 2*len(g.Test) {
+			t.Fatalf("job %s evaluated %d queries, want %d", id, st.Result.Queries, 2*len(g.Test))
+		}
+		if st.CacheHit {
+			hits++
+		}
+	}
+	if hits != 1 {
+		t.Fatalf("%d jobs reported cache hits, want exactly 1 (one miss fits, one reuses)", hits)
+	}
+	cs := engine.Stats().Cache
+	if cs.Misses != 1 || cs.Hits != 1 {
+		t.Fatalf("cache stats = %+v, want 1 miss + 1 hit", cs)
+	}
+}
+
+type sseEvent struct {
+	typ    string
+	status Status
+}
+
+func readSSE(t *testing.T, url string) []sseEvent {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("stream Content-Type = %q", ct)
+	}
+	var events []sseEvent
+	var cur sseEvent
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			cur.typ = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &cur.status); err != nil {
+				t.Fatalf("bad SSE data: %v", err)
+			}
+			events = append(events, cur)
+			if cur.typ == "done" {
+				return events
+			}
+		}
+	}
+	t.Fatalf("stream ended without a done event (%d events)", len(events))
+	return nil
+}
+
+func TestServerSSEProgressOrdering(t *testing.T) {
+	// One worker: the blocker occupies it, so the target job is still queued
+	// when the stream attaches and every transition flows through the SSE
+	// channel.
+	srv, engine := newTestServer(t, EngineConfig{Workers: 1, EvalWorkers: 2})
+	g := engine.Graph()
+	snap := snapshotModel(t, g, "ComplEx", 16, 3)
+
+	submitJob(t, srv.URL, JobSpec{
+		Model: ModelSpec{Name: "ComplEx", Dim: 16, Seed: 3, Snapshot: snap}, Strategy: "full",
+	})
+	target := submitJob(t, srv.URL, JobSpec{
+		Model: ModelSpec{Name: "ComplEx", Dim: 16, Seed: 3, Snapshot: snap}, Strategy: "P",
+	})
+
+	events := readSSE(t, srv.URL+"/v1/jobs/"+target.ID+"/stream")
+	if len(events) < 2 {
+		t.Fatalf("got %d SSE events, want at least initial snapshot + done", len(events))
+	}
+	lastDone := -1
+	sawProgress := false
+	for i, ev := range events {
+		if ev.typ == "progress" {
+			sawProgress = true
+			if ev.status.Progress.Done < lastDone {
+				t.Fatalf("event %d: progress went backwards: %d after %d", i, ev.status.Progress.Done, lastDone)
+			}
+			lastDone = ev.status.Progress.Done
+		}
+		if ev.typ == "done" && i != len(events)-1 {
+			t.Fatal("done event was not last")
+		}
+	}
+	final := events[len(events)-1]
+	if final.typ != "done" || final.status.State != StateSucceeded {
+		t.Fatalf("final event = %q state %s, want done/succeeded", final.typ, final.status.State)
+	}
+	if !sawProgress && final.status.Progress.Done != len(g.Test) {
+		t.Fatalf("no progress events and final done=%d, want %d", final.status.Progress.Done, len(g.Test))
+	}
+	if final.status.Result == nil || final.status.Result.MRR <= 0 {
+		t.Fatalf("done event carries no result: %+v", final.status)
+	}
+}
+
+func TestServerCancelInFlight(t *testing.T) {
+	// Single-threaded scoring of the full protocol at a large dimension runs
+	// for hundreds of milliseconds — orders of magnitude longer than the
+	// stream-then-cancel roundtrip below, so the cancel lands mid-evaluation.
+	srv, engine := newTestServer(t, EngineConfig{Workers: 1, EvalWorkers: 1})
+	g := engine.Graph()
+
+	id := submitJob(t, srv.URL, JobSpec{
+		Model:    ModelSpec{Name: "ComplEx", Dim: 512, Seed: 5, Snapshot: snapshotModel(t, g, "ComplEx", 512, 5)},
+		Strategy: "full",
+	}).ID
+
+	// Follow the job's own progress stream and cancel at the first progress
+	// event: hundreds of queries remain at that point, so the DELETE lands
+	// mid-evaluation deterministically.
+	stream, err := http.Get(srv.URL + "/v1/jobs/" + id + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	sc := bufio.NewScanner(stream.Body)
+	cancelled := false
+	for !cancelled && sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "event: progress") {
+			continue
+		}
+		req, err := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+id, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("cancel returned %s", resp.Status)
+		}
+		cancelled = true
+	}
+	if !cancelled {
+		t.Fatal("stream ended before any progress event")
+	}
+
+	st := waitTerminal(t, srv.URL, id)
+	if st.State != StateCanceled {
+		t.Fatalf("state after cancel = %s", st.State)
+	}
+	if st.Progress.Total > 0 && st.Progress.Done >= st.Progress.Total {
+		t.Fatalf("cancelled job still completed all %d queries", st.Progress.Total)
+	}
+
+	// The worker must be free again: a small sampled job still completes.
+	after := submitJob(t, srv.URL, JobSpec{
+		Model:    ModelSpec{Name: "DistMult", Dim: 8, Seed: 6, Snapshot: snapshotModel(t, g, "DistMult", 8, 6)},
+		Strategy: "P",
+	})
+	if st := waitTerminal(t, srv.URL, after.ID); st.State != StateSucceeded {
+		t.Fatalf("post-cancel job state = %s, error %q", st.State, st.Error)
+	}
+}
+
+func TestServerValidationAndNotFound(t *testing.T) {
+	srv, engine := newTestServer(t, EngineConfig{Workers: 1})
+	g := engine.Graph()
+	snap := snapshotModel(t, g, "ComplEx", 16, 3)
+
+	post := func(spec JobSpec) int {
+		t.Helper()
+		body, _ := json.Marshal(spec)
+		resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	bad := []JobSpec{
+		{Model: ModelSpec{Name: "NotAModel", Dim: 16, Snapshot: snap}},
+		{Model: ModelSpec{Name: "ComplEx", Dim: 0, Snapshot: snap}},
+		{Model: ModelSpec{Name: "ComplEx", Dim: 16}},
+		{Model: ModelSpec{Name: "ComplEx", Dim: 16, Snapshot: snap}, Strategy: "Z"},
+		{Model: ModelSpec{Name: "ComplEx", Dim: 16, Snapshot: snap}, Split: "train"},
+		{Model: ModelSpec{Name: "ComplEx", Dim: 16, Snapshot: snap}, Recommender: "NotARec"},
+	}
+	for i, spec := range bad {
+		if code := post(spec); code != http.StatusBadRequest {
+			t.Errorf("bad spec %d accepted with status %d", i, code)
+		}
+	}
+
+	// A snapshot whose architecture disagrees with the spec fails the job
+	// at load time rather than at submission.
+	st := submitJob(t, srv.URL, JobSpec{
+		Model: ModelSpec{Name: "ComplEx", Dim: 24, Seed: 3, Snapshot: snap}, Strategy: "P",
+	})
+	if final := waitTerminal(t, srv.URL, st.ID); final.State != StateFailed || final.Error == "" {
+		t.Fatalf("mismatched snapshot: state %s, error %q", final.State, final.Error)
+	}
+
+	for _, path := range []string{"/v1/jobs/nope", "/v1/jobs/nope/stream"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s = %d, want 404", path, resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health["status"] != "ok" || health["graph"] != g.Name {
+		t.Fatalf("healthz = %v", health)
+	}
+	if health["fingerprint"] != engine.Fingerprint() {
+		t.Fatalf("healthz fingerprint = %v, want %s", health["fingerprint"], engine.Fingerprint())
+	}
+}
+
+// TestEngineRetentionAndSnapshotRelease checks the two memory bounds of a
+// long-lived server: terminal jobs are pruned beyond RetainJobs, and a
+// job's snapshot bytes are released once the model is reconstructed.
+func TestEngineRetentionAndSnapshotRelease(t *testing.T) {
+	g := serviceGraph(t)
+	engine, err := NewEngine(EngineConfig{Graph: g, Workers: 1, RetainJobs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer engine.Close()
+	snap := snapshotModel(t, g, "DistMult", 8, 6)
+	spec := JobSpec{Model: ModelSpec{Name: "DistMult", Dim: 8, Seed: 6, Snapshot: snap}, Strategy: "P", MaxQueries: 20}
+
+	var last *Job
+	for i := 0; i < 5; i++ {
+		j, err := engine.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(30 * time.Second)
+		for !j.State().Terminal() {
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s stuck in %s", j.ID, j.State())
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if j.State() != StateSucceeded {
+			t.Fatalf("job %s: %s (%s)", j.ID, j.State(), j.Status().Error)
+		}
+		last = j
+	}
+	if n := len(engine.Jobs()); n > 3 {
+		t.Fatalf("engine retains %d jobs, want <= 3 with RetainJobs=2", n)
+	}
+	if _, ok := engine.Get(last.ID); !ok {
+		t.Fatal("most recent job was pruned")
+	}
+	last.mu.Lock()
+	held := len(last.Spec.Model.Snapshot)
+	last.mu.Unlock()
+	if held != 0 {
+		t.Fatalf("terminal job still holds %d snapshot bytes", held)
+	}
+}
+
+// TestEngineQueueFull exercises the backpressure path without HTTP.
+func TestEngineQueueFull(t *testing.T) {
+	g := serviceGraph(t)
+	engine, err := NewEngine(EngineConfig{Graph: g, Workers: 1, QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer engine.Close()
+	snap := snapshotModel(t, g, "ComplEx", 32, 3)
+	spec := JobSpec{Model: ModelSpec{Name: "ComplEx", Dim: 32, Seed: 3, Snapshot: snap}, Strategy: "full"}
+
+	var sawFull bool
+	for i := 0; i < 8; i++ {
+		if _, err := engine.Submit(spec); err != nil {
+			if err != ErrQueueFull {
+				t.Fatalf("unexpected submit error: %v", err)
+			}
+			sawFull = true
+			break
+		}
+	}
+	if !sawFull {
+		t.Fatal("queue of depth 1 accepted 8 slow jobs")
+	}
+	if got := fmt.Sprint(ErrQueueFull); !strings.Contains(got, "queue full") {
+		t.Fatalf("ErrQueueFull text = %q", got)
+	}
+}

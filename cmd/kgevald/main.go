@@ -5,7 +5,10 @@
 //
 // The server hosts one knowledge graph (a synthetic preset, or TSV files
 // produced by datagen) and amortizes recommender fitting across jobs through
-// an LRU cache of fitted frameworks.
+// an LRU cache of fitted frameworks. A job carries either one model
+// ({"model": {...}}) or a fleet ({"models": [...]}); fleets are evaluated in
+// one relation-grouped pass over shared candidate pools, with per-model
+// results in the job output.
 //
 // Usage:
 //

@@ -5,13 +5,23 @@
 // The repository root package only anchors the module and its benchmark
 // harness (bench_test.go). The implementation lives under internal/:
 //
-//	internal/core         the evaluation framework (the paper's contribution)
+//	internal/core         the evaluation framework (the paper's contribution):
+//	                      Estimate, and EstimateMany for evaluating a model
+//	                      fleet over one shared set of candidate pools
 //	internal/recommender  relation recommenders: PT, DBH(-T), OntoSim,
 //	                      L-WD(-T), PIE-Sim
-//	internal/eval         full + sampled filtered ranking protocols
-//	internal/service      evaluation-as-a-service: job engine, framework
-//	                      cache and the kgevald HTTP API
-//	internal/kgc          TransE/DistMult/ComplEx/RESCAL/RotatE/TuckER/ConvE
+//	internal/eval         full + sampled filtered ranking protocols, executed
+//	                      as a relation-grouped plan: queries bucketed per
+//	                      relation, pools drawn once, whole relations scored
+//	                      in batches (the legacy per-query executor remains
+//	                      behind Options.PerQuery as the verified baseline)
+//	internal/service      evaluation-as-a-service: job engine (single- and
+//	                      multi-model jobs), framework cache and the kgevald
+//	                      HTTP API
+//	internal/kgc          TransE/DistMult/ComplEx/RESCAL/RotatE/TuckER/ConvE;
+//	                      the embedding models implement BatchScorer, scoring
+//	                      all queries of a relation against one gathered
+//	                      candidate block
 //	internal/kp           Knowledge Persistence baseline
 //	internal/synth        typed synthetic KG generator (dataset substitute)
 //	internal/experiments  regenerates every table and figure of the paper

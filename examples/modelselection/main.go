@@ -8,6 +8,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"kgeval/internal/core"
 	"kgeval/internal/eval"
@@ -43,11 +44,13 @@ func main() {
 		est[s] = make([][]float64, epochs)
 	}
 
+	var trained []kgc.Model
 	for mi, name := range modelNames {
 		m, err := kgc.New(name, g, kgc.DefaultDim(name), int64(mi+1))
 		if err != nil {
 			log.Fatal(err)
 		}
+		trained = append(trained, m)
 		cfg := kgc.DefaultTrainConfig()
 		cfg.Epochs = epochs
 		cfg.Seed = int64(mi + 1)
@@ -85,6 +88,21 @@ func main() {
 	for _, s := range core.Strategies() {
 		fmt.Printf("  %-14s %d/%d\n", s, agree[s], epochs)
 	}
+
+	// Final selection over the trained fleet with EstimateMany: candidate
+	// pools are drawn once and every model is ranked on identical ground,
+	// so one pass of setup serves all four checkpoints.
+	opts := eval.Options{Filter: filter, Seed: 1000}
+	many := fw.EstimateMany(trained, g, g.Valid, core.StrategyProbabilistic, opts)
+	best := 0
+	fmt.Printf("\nfinal fleet estimate over shared pools (strategy P):\n")
+	for i, r := range many {
+		fmt.Printf("  %-10s MRR %.4f (%v)\n", trained[i].Name(), r.MRR, r.Elapsed.Round(time.Millisecond))
+		if r.MRR > many[best].MRR {
+			best = i
+		}
+	}
+	fmt.Printf("selected: %s\n", trained[best].Name())
 }
 
 func argmax(xs []float64) int {

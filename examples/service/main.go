@@ -1,8 +1,9 @@
 // Evaluation-as-a-service: start the kgevald engine in-process, then drive
 // it purely over HTTP the way external clients would — submit several
 // serialized model snapshots concurrently, compare candidate-sampling
-// strategies, watch live SSE progress, and cancel a job mid-flight. The
-// second and later jobs per strategy hit the fitted-framework cache, so
+// strategies, watch live SSE progress, run a multi-model job that scores
+// the whole fleet over shared candidate pools, and cancel a job mid-flight.
+// The second and later jobs per strategy hit the fitted-framework cache, so
 // recommender fitting is paid once across the whole workload.
 //
 //	go run ./examples/service
@@ -110,7 +111,23 @@ func main() {
 		results[j.id] = waitJob(base, j.id)
 	}
 
-	// 6. Submit one more job and cancel it mid-flight via the API.
+	// 6. Submit one multi-model job: both snapshots evaluated over shared
+	// candidate pools in a single pass (pools drawn once, models ranked on
+	// identical ground), with per-model results in the job output.
+	multi := postJob(base, service.JobSpec{
+		Models: []service.ModelSpec{
+			{Name: "ComplEx", Dim: 32, Seed: 1, Snapshot: snapshots["ComplEx"]},
+			{Name: "DistMult", Dim: 24, Seed: 1, Snapshot: snapshots["DistMult"]},
+		},
+		Strategy: "P",
+	})
+	multiSt := waitJob(base, multi.ID)
+	fmt.Printf("\nmulti-model job %s (%s), shared pools:\n", multi.ID, multiSt.State)
+	for _, r := range multiSt.Results {
+		fmt.Printf("  %-10s MRR %.4f Hits@10 %.4f (%.0f ms)\n", r.Model, r.MRR, r.Hits10, r.ElapsedMS)
+	}
+
+	// 7. Submit one more job and cancel it mid-flight via the API.
 	spec := service.JobSpec{
 		Model:    service.ModelSpec{Name: "ComplEx", Dim: 32, Seed: 1, Snapshot: snapshots["ComplEx"]},
 		Strategy: "full", // the slow protocol: plenty of time to cancel
@@ -123,7 +140,7 @@ func main() {
 	resp.Body.Close()
 	fmt.Printf("\ncancelled %s: state=%s\n", doomed.ID, waitJob(base, doomed.ID).State)
 
-	// 7. Report: strategies side by side per model, plus cache traffic.
+	// 8. Report: strategies side by side per model, plus cache traffic.
 	fmt.Printf("\n%-10s %-9s %8s %8s %10s %10s\n", "model", "strategy", "MRR", "Hits@10", "scored", "cache")
 	sort.Slice(jobs, func(i, j int) bool {
 		if jobs[i].model != jobs[j].model {

@@ -64,6 +64,61 @@ func TestFrameworkEndToEnd(t *testing.T) {
 	}
 }
 
+// A zero seed marked as set must be honored, not silently replaced by the
+// framework default; an unset seed must keep falling back to it.
+func TestEstimateSeedZeroHonoredWhenSet(t *testing.T) {
+	g, _ := coreGraph(t)
+	m := kgc.NewComplEx(g, 16, 3)
+	fw := New(recommender.NewLWD(), 40, 17)
+	if err := fw.Fit(g); err != nil {
+		t.Fatal(err)
+	}
+	filter := kg.NewFilterIndex(g.Train, g.Valid, g.Test)
+
+	unset := fw.Estimate(m, g, g.Test, StrategyRandom, eval.Options{Filter: filter})
+	def := fw.Estimate(m, g, g.Test, StrategyRandom, eval.Options{Filter: filter, Seed: fw.Seed})
+	if unset.Metrics != def.Metrics {
+		t.Fatalf("unset seed %+v must equal framework-seed run %+v", unset.Metrics, def.Metrics)
+	}
+
+	zero := fw.Estimate(m, g, g.Test, StrategyRandom, eval.Options{Filter: filter, Seed: 0, SeedSet: true})
+	explicitZero := eval.Evaluate(m, g, g.Test, fw.Provider(StrategyRandom), eval.Options{Filter: filter, Seed: 0})
+	if zero.Metrics != explicitZero.Metrics {
+		t.Fatalf("SeedSet seed-0 run %+v must match a literal seed-0 evaluation %+v", zero.Metrics, explicitZero.Metrics)
+	}
+	if zero.Metrics == def.Metrics {
+		t.Fatal("seed 0 (set) and the framework default seed produced identical metrics — seed 0 was likely replaced")
+	}
+}
+
+// EstimateMany must agree with per-model Estimate under identical options.
+func TestEstimateManyMatchesEstimate(t *testing.T) {
+	g, _ := coreGraph(t)
+	ms := []kgc.Model{kgc.NewDistMult(g, 16, 3), kgc.NewComplEx(g, 16, 4), kgc.NewTransE(g, 16, 5)}
+	fw := New(recommender.NewLWD(), 40, 17)
+	if err := fw.Fit(g); err != nil {
+		t.Fatal(err)
+	}
+	filter := kg.NewFilterIndex(g.Train, g.Valid, g.Test)
+	opts := eval.Options{Filter: filter, Seed: 6}
+	for _, s := range Strategies() {
+		many := fw.EstimateMany(ms, g, g.Test, s, opts)
+		for i, m := range ms {
+			one := fw.Estimate(m, g, g.Test, s, opts)
+			if many[i].Metrics != one.Metrics {
+				t.Errorf("%v/%s: EstimateMany %+v != Estimate %+v", s, m.Name(), many[i].Metrics, one.Metrics)
+			}
+		}
+	}
+	full := FullEvaluateMany(ms, g, g.Test, opts)
+	for i, m := range ms {
+		one := FullEvaluate(m, g, g.Test, opts)
+		if full[i].Metrics != one.Metrics {
+			t.Errorf("full/%s: FullEvaluateMany %+v != FullEvaluate %+v", m.Name(), full[i].Metrics, one.Metrics)
+		}
+	}
+}
+
 func TestFrameworkUnfittedPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

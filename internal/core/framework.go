@@ -139,17 +139,42 @@ func (f *Framework) Provider(s Strategy) eval.CandidateProvider {
 	panic(fmt.Sprintf("core: unknown strategy %d", int(s)))
 }
 
-// Estimate runs a sampled filtered evaluation of the model over the split
-// with the given strategy, returning estimated ranking metrics.
-func (f *Framework) Estimate(m kgc.Model, g *kg.Graph, split []kg.Triple, s Strategy, opts eval.Options) eval.Result {
-	if opts.Seed == 0 {
+// seeded substitutes the framework's default seed when the caller left the
+// seed unset. A zero Seed only means "unset" when SeedSet is false: callers
+// that genuinely want seed 0 mark opts.SeedSet.
+func (f *Framework) seeded(opts eval.Options) eval.Options {
+	if opts.Seed == 0 && !opts.SeedSet {
 		opts.Seed = f.Seed
 	}
-	return eval.Evaluate(m, g, split, f.Provider(s), opts)
+	return opts
+}
+
+// Estimate runs a sampled filtered evaluation of the model over the split
+// with the given strategy, returning estimated ranking metrics. An unset
+// seed (Seed == 0 with SeedSet false) falls back to the framework's seed.
+func (f *Framework) Estimate(m kgc.Model, g *kg.Graph, split []kg.Triple, s Strategy, opts eval.Options) eval.Result {
+	return eval.Evaluate(m, g, split, f.Provider(s), f.seeded(opts))
+}
+
+// EstimateMany evaluates several models over one shared set of candidate
+// pools and one filter-index pass: the split is grouped by relation and each
+// pool drawn exactly once, then every model is scored over identical pools
+// (eval.EvaluateMany). This is the multi-model amortization the service's
+// models-jobs and model-selection-during-training workloads rely on;
+// results[i] corresponds to ms[i] and equals what Estimate would return for
+// that model with the same options.
+func (f *Framework) EstimateMany(ms []kgc.Model, g *kg.Graph, split []kg.Triple, s Strategy, opts eval.Options) []eval.Result {
+	return eval.EvaluateMany(ms, g, split, f.Provider(s), f.seeded(opts))
 }
 
 // FullEvaluate runs the standard full filtered ranking protocol — the
 // expensive ground truth the framework's estimates are compared against.
 func FullEvaluate(m kgc.Model, g *kg.Graph, split []kg.Triple, opts eval.Options) eval.Result {
 	return eval.Evaluate(m, g, split, eval.NewFullProvider(g.NumEntities), opts)
+}
+
+// FullEvaluateMany runs the full protocol for several models over one shared
+// plan, the exhaustive counterpart of EstimateMany.
+func FullEvaluateMany(ms []kgc.Model, g *kg.Graph, split []kg.Triple, opts eval.Options) []eval.Result {
+	return eval.EvaluateMany(ms, g, split, eval.NewFullProvider(g.NumEntities), opts)
 }

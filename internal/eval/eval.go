@@ -15,6 +15,14 @@
 //
 // All sampled strategies draw one pool per (relation, direction) — 2·|R|
 // sampling events per evaluation, the paper's key complexity reduction.
+//
+// Execution is organized around the same unit the complexity argument is
+// about: the relation. An evaluation pass compiles the split into a
+// relation-grouped plan (plan.go) — queries bucketed per relation, pools in
+// flat slices — and scores each relation's queries in batches against one
+// gathered candidate block via kgc.BatchScorer. EvaluateMany reuses a single
+// plan across many models, amortizing pool construction for multi-model
+// workloads.
 package eval
 
 import (
@@ -22,8 +30,6 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
-	"sort"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -64,8 +70,18 @@ type Options struct {
 	// the split (after a deterministic shuffle with Seed). Used to bound
 	// experiment cost on large splits.
 	MaxQueries int
-	// Seed drives candidate sampling and the MaxQueries subsample.
+	// Seed drives candidate sampling and the MaxQueries subsample. Evaluate
+	// always uses Seed as given; SeedSet only matters to callers that layer
+	// defaulting on top (core.Framework).
 	Seed int64
+	// SeedSet marks Seed as deliberately chosen, so that Framework.Estimate
+	// honors an explicit Seed of 0 instead of substituting the framework's
+	// default seed.
+	SeedSet bool
+	// PerQuery forces the legacy query-at-a-time executor instead of the
+	// relation-grouped batch planner. Both executors produce bit-identical
+	// Metrics; this exists for equivalence testing and benchmarking.
+	PerQuery bool
 	// Ctx, when non-nil, allows cancelling an evaluation mid-pass. On
 	// cancellation Evaluate returns early with metrics computed over the
 	// queries completed so far (Result.Queries reflects the partial count).
@@ -91,7 +107,9 @@ type CandidateProvider interface {
 	Name() string
 	// Candidates returns the candidate entity pool for queries (·, r, ?)
 	// when tail is true, or (?, r, ·) otherwise. The returned slice must be
-	// sorted ascending and must not be retained by the caller across calls.
+	// sorted ascending; the evaluation plan retains it for the duration of
+	// the pass, so providers must return either a fresh slice or a stable
+	// shared one, never a reused scratch buffer.
 	Candidates(r int32, tail bool, rng *rand.Rand) []int32
 }
 
@@ -99,147 +117,98 @@ type CandidateProvider interface {
 // drawing candidate pools from the provider. Every triple contributes two
 // queries: a tail query (h, r, ?) ranked against the provider's range pool
 // and a head query (?, r, t) ranked against its domain pool.
+//
+// Execution is relation-grouped: the split is partitioned by relation, each
+// relation's pools are drawn once (2·|R| sampling events), and all queries
+// of a relation are scored in batches against one gathered candidate block
+// (kgc.BatchScorer; plain models run through a per-query adapter). Set
+// Options.PerQuery to force the legacy query-at-a-time executor — both
+// produce bit-identical Metrics.
 func Evaluate(m kgc.Model, g *kg.Graph, split []kg.Triple, provider CandidateProvider, opts Options) Result {
 	if opts.Filter == nil {
 		opts.Filter = kg.NewFilterIndex(g.Train, g.Valid, g.Test)
 	}
-	queries := split
-	if opts.MaxQueries > 0 && opts.MaxQueries < len(split) {
-		shuffled := append([]kg.Triple(nil), split...)
-		rng := rand.New(rand.NewSource(opts.Seed))
-		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
-		queries = shuffled[:opts.MaxQueries]
-	}
-
+	queries := subsample(split, opts)
 	start := time.Now()
-
-	// Draw each relation's pools once (2·|R| sampling events).
-	rels := map[int32]bool{}
-	for _, t := range queries {
-		rels[t.R] = true
-	}
-	rng := rand.New(rand.NewSource(opts.Seed + 1))
-	tailPools := make(map[int32][]int32, len(rels))
-	headPools := make(map[int32][]int32, len(rels))
-	relIDs := make([]int32, 0, len(rels))
-	for r := range rels {
-		relIDs = append(relIDs, r)
-	}
-	sort.Slice(relIDs, func(i, j int) bool { return relIDs[i] < relIDs[j] })
-	for _, r := range relIDs {
-		tailPools[r] = provider.Candidates(r, true, rng)
-		headPools[r] = provider.Candidates(r, false, rng)
-	}
-
-	var cancel <-chan struct{}
-	if opts.Ctx != nil {
-		cancel = opts.Ctx.Done()
-	}
-
-	// Unprocessed queries (cancelled mid-pass) leave their rank at 0, which
-	// metricsFromRanks skips; processed ranks are always >= 1.
-	nw := opts.workers()
-	ranks := make([]float64, 2*len(queries))
-	var scored, done atomic.Int64
-	var wg sync.WaitGroup
-	chunk := (len(queries) + nw - 1) / nw
-	for w := 0; w < nw; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(queries) {
-			hi = len(queries)
-		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			var buf []float64
-			var local int64
-			for i := lo; i < hi; i++ {
-				if cancel != nil {
-					select {
-					case <-cancel:
-						scored.Add(local)
-						return
-					default:
-					}
-				}
-				q := queries[i]
-				tp := tailPools[q.R]
-				if cap(buf) < len(tp) {
-					buf = make([]float64, len(tp))
-				}
-				ranks[2*i] = rankTail(m, opts.Filter, q, tp, buf[:len(tp)])
-				local += int64(len(tp))
-
-				hp := headPools[q.R]
-				if cap(buf) < len(hp) {
-					buf = make([]float64, len(hp))
-				}
-				ranks[2*i+1] = rankHead(m, opts.Filter, q, hp, buf[:len(hp)])
-				local += int64(len(hp))
-
-				if opts.Progress != nil {
-					opts.Progress(int(done.Add(1)), len(queries))
-				} else {
-					done.Add(1)
-				}
-			}
-			scored.Add(local)
-		}(lo, hi)
-	}
-	wg.Wait()
-
-	res := Result{
-		Metrics:          metricsFromRanks(ranks),
-		Elapsed:          time.Since(start),
-		CandidatesScored: scored.Load(),
-	}
+	p := newPlan(queries, provider, opts)
+	var done atomic.Int64
+	res := runPass(m, p, opts, len(queries), &done)
+	res.Elapsed = time.Since(start)
 	return res
 }
 
-// rankTail ranks the true tail of q among the candidates, filtering known
+// EvaluateMany runs the protocol for several models over one shared plan:
+// the split is grouped and every candidate pool drawn exactly once, then
+// each model executes over the identical pools. This amortizes pool
+// construction across a model fleet — the model-selection-during-training
+// workload — and guarantees the models are ranked on the same ground.
+//
+// results[i] corresponds to ms[i]; per-model Elapsed covers that model's
+// scoring only (the shared plan construction is the amortized part). The
+// Progress hook sees one monotone counter across all models, with total =
+// len(ms) × len(queries). Cancellation via Options.Ctx stops mid-model and
+// skips the models not yet started, leaving their Results zero.
+func EvaluateMany(ms []kgc.Model, g *kg.Graph, split []kg.Triple, provider CandidateProvider, opts Options) []Result {
+	if opts.Filter == nil {
+		opts.Filter = kg.NewFilterIndex(g.Train, g.Valid, g.Test)
+	}
+	queries := subsample(split, opts)
+	p := newPlan(queries, provider, opts)
+	results := make([]Result, len(ms))
+	var done atomic.Int64
+	total := len(ms) * len(queries)
+	for i, m := range ms {
+		if opts.Ctx != nil && opts.Ctx.Err() != nil {
+			break
+		}
+		start := time.Now()
+		results[i] = runPass(m, p, opts, total, &done)
+		results[i].Elapsed = time.Since(start)
+	}
+	return results
+}
+
+// rankScores ranks the true entity against candidate scores, filtering known
 // positives: rank = 1 + #{strictly better} + #{ties}/2 (LibKGE's "realistic"
-// tie policy).
-func rankTail(m kgc.Model, filter *kg.FilterIndex, q kg.Triple, cands []int32, buf []float64) float64 {
-	trueScore := m.ScoreTriple(q.H, q.R, q.T)
-	m.ScoreTails(q.H, q.R, cands, buf)
-	known := filter.Tails(q.H, q.R)
+// tie policy). Both executors funnel through this one counting loop. cands
+// and known are both sorted ascending (the CandidateProvider contract and
+// the FilterIndex layout), so known-positive filtering is a single merge
+// sweep instead of one binary search per candidate.
+func rankScores(truth int32, trueScore float64, cands []int32, scores []float64, known []int32) float64 {
 	better, ties := 0, 0
+	ki := 0
 	for i, c := range cands {
-		if c == q.T || containsSorted(known, c) {
+		if c == truth {
+			continue
+		}
+		for ki < len(known) && known[ki] < c {
+			ki++
+		}
+		if ki < len(known) && known[ki] == c {
 			continue
 		}
 		switch {
-		case buf[i] > trueScore:
+		case scores[i] > trueScore:
 			better++
-		case buf[i] == trueScore:
+		case scores[i] == trueScore:
 			ties++
 		}
 	}
 	return 1 + float64(better) + float64(ties)/2
+}
+
+// rankTail ranks the true tail of q among the candidates (filtered).
+func rankTail(m kgc.Model, filter *kg.FilterIndex, q kg.Triple, cands []int32, buf []float64) float64 {
+	trueScore := m.ScoreTriple(q.H, q.R, q.T)
+	m.ScoreTails(q.H, q.R, cands, buf)
+	return rankScores(q.T, trueScore, cands, buf, filter.Tails(q.H, q.R))
 }
 
 // rankHead ranks the true head of q among the candidates (filtered).
 func rankHead(m kgc.Model, filter *kg.FilterIndex, q kg.Triple, cands []int32, buf []float64) float64 {
 	trueScore := scoreHeadOne(m, q)
 	m.ScoreHeads(q.R, q.T, cands, buf)
-	known := filter.Heads(q.R, q.T)
-	better, ties := 0, 0
-	for i, c := range cands {
-		if c == q.H || containsSorted(known, c) {
-			continue
-		}
-		switch {
-		case buf[i] > trueScore:
-			better++
-		case buf[i] == trueScore:
-			ties++
-		}
-	}
-	return 1 + float64(better) + float64(ties)/2
+	return rankScores(q.H, trueScore, cands, buf, filter.Heads(q.R, q.T))
 }
 
 // scoreHeadOne scores the true head through the same code path used for the
@@ -248,11 +217,6 @@ func scoreHeadOne(m kgc.Model, q kg.Triple) float64 {
 	var one [1]float64
 	m.ScoreHeads(q.R, q.T, []int32{q.H}, one[:])
 	return one[0]
-}
-
-func containsSorted(sorted []int32, x int32) bool {
-	i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= x })
-	return i < len(sorted) && sorted[i] == x
 }
 
 func metricsFromRanks(ranks []float64) Metrics {

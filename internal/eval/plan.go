@@ -1,0 +1,347 @@
+package eval
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"kgeval/internal/kg"
+	"kgeval/internal/kgc"
+)
+
+// relGroup is the unit of the relation-grouped execution plan: all queries
+// of one relation, plus the relation's two candidate pools. Keeping pools on
+// the group (flat slices, no map lookups) is what lets the hot loop batch
+// every query of the relation against one gathered candidate block.
+type relGroup struct {
+	r        int32
+	idx      []int // indices into plan.queries, ascending
+	tailPool []int32
+	headPool []int32
+	// direct marks groups whose pools are too large for batch scoring: the
+	// gathered embedding block would be huge (for the full protocol it is
+	// the whole entity table) and the few queries per task could never
+	// amortize the copy. These groups score query-at-a-time, streaming the
+	// entity table in place.
+	direct bool
+}
+
+// batchTask is one worker-schedulable slice of a relation group. Groups are
+// chunked so large relations parallelize across workers and so the score
+// buffer (chunk × pool) stays bounded; cancellation takes effect between
+// tasks.
+type batchTask struct {
+	group  *relGroup
+	lo, hi int // range within group.idx
+}
+
+// Chunking parameters. Variables rather than constants so tests can shrink
+// them to exercise the large-pool fallback on small graphs.
+var (
+	// batchFloatBudget caps a batch task's score buffer at 64k floats
+	// (512 KB per worker).
+	batchFloatBudget = 1 << 16
+	// maxBatchQueries caps queries per task so cancellation latency and
+	// worker load imbalance stay small even for tiny pools.
+	maxBatchQueries = 64
+	// minBatchQueries is the smallest chunk worth a candidate gather: below
+	// it the per-call block copy (len(pool)·dim floats — the whole entity
+	// table under the full protocol) dominates the scoring it enables, so
+	// the group falls back to direct per-query scoring instead.
+	minBatchQueries = 4
+)
+
+// plan is the shared, read-only structure of one evaluation pass: the (possibly
+// subsampled) query set grouped by relation, each group's candidate pools
+// drawn exactly once (2·|R| sampling events), and the group chunking. One
+// plan can execute any number of models, which is how EvaluateMany amortizes
+// pool construction across a model fleet.
+type plan struct {
+	queries []kg.Triple
+	groups  []relGroup
+	tasks   []batchTask
+}
+
+// newPlan groups the queries by relation and draws every pool. Pools are
+// drawn in ascending relation order, tail before head, from a generator
+// seeded with Seed+1 — the draw sequence is part of the protocol: any two
+// executions (batch or per-query, one model or many) with the same Seed see
+// identical pools.
+func newPlan(queries []kg.Triple, provider CandidateProvider, opts Options) *plan {
+	counts := map[int32]int{}
+	for _, q := range queries {
+		counts[q.R]++
+	}
+	relIDs := make([]int32, 0, len(counts))
+	for r := range counts {
+		relIDs = append(relIDs, r)
+	}
+	sort.Slice(relIDs, func(i, j int) bool { return relIDs[i] < relIDs[j] })
+
+	p := &plan{queries: queries, groups: make([]relGroup, len(relIDs))}
+	pos := make(map[int32]int, len(relIDs))
+	backing := make([]int, len(queries))
+	off := 0
+	for gi, r := range relIDs {
+		n := counts[r]
+		p.groups[gi] = relGroup{r: r, idx: backing[off : off : off+n]}
+		pos[r] = gi
+		off += n
+	}
+	for i, q := range queries {
+		gi := pos[q.R]
+		p.groups[gi].idx = append(p.groups[gi].idx, i)
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed + 1))
+	for gi := range p.groups {
+		g := &p.groups[gi]
+		g.tailPool = provider.Candidates(g.r, true, rng)
+		g.headPool = provider.Candidates(g.r, false, rng)
+	}
+	p.chunk()
+	return p
+}
+
+// chunk slices each group into batchTasks sized to the float budget. Groups
+// whose budgeted chunk falls below minBatchQueries are marked direct (the
+// gather can't be amortized) and chunked only for scheduling granularity.
+func (p *plan) chunk() {
+	for gi := range p.groups {
+		g := &p.groups[gi]
+		pool := len(g.tailPool)
+		if len(g.headPool) > pool {
+			pool = len(g.headPool)
+		}
+		b := maxBatchQueries
+		if pool > 0 && batchFloatBudget/pool < b {
+			b = batchFloatBudget / pool
+		}
+		if b < minBatchQueries {
+			g.direct = true
+			b = maxBatchQueries
+		}
+		for lo := 0; lo < len(g.idx); lo += b {
+			hi := lo + b
+			if hi > len(g.idx) {
+				hi = len(g.idx)
+			}
+			p.tasks = append(p.tasks, batchTask{group: g, lo: lo, hi: hi})
+		}
+	}
+}
+
+// subsample applies the MaxQueries bound after a deterministic shuffle.
+func subsample(split []kg.Triple, opts Options) []kg.Triple {
+	if opts.MaxQueries <= 0 || opts.MaxQueries >= len(split) {
+		return split
+	}
+	shuffled := append([]kg.Triple(nil), split...)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	return shuffled[:opts.MaxQueries]
+}
+
+// runPass executes one model over the plan and returns its metrics. done is
+// the cross-model triple counter driving the Progress hook; progressTotal is
+// the hook's total (len(queries) for Evaluate, #models × len(queries) for
+// EvaluateMany). Elapsed is left for the caller to fill.
+func runPass(m kgc.Model, p *plan, opts Options, progressTotal int, done *atomic.Int64) Result {
+	// Unprocessed queries (cancelled mid-pass) leave their rank at 0, which
+	// metricsFromRanks skips; processed ranks are always >= 1.
+	ranks := make([]float64, 2*len(p.queries))
+	var scored atomic.Int64
+	if opts.PerQuery {
+		runPerQuery(m, p, opts, progressTotal, done, &scored, ranks)
+	} else {
+		runBatch(kgc.AsBatchScorer(m), p, opts, progressTotal, done, &scored, ranks)
+	}
+	return Result{Metrics: metricsFromRanks(ranks), CandidatesScored: scored.Load()}
+}
+
+// runBatch is the relation-grouped executor: workers pull batchTasks and
+// score whole chunks through the model's BatchScorer, reusing their entity
+// and score buffers across tasks.
+func runBatch(bs kgc.BatchScorer, p *plan, opts Options, progressTotal int, done, scored *atomic.Int64, ranks []float64) {
+	var cancel <-chan struct{}
+	if opts.Ctx != nil {
+		cancel = opts.Ctx.Done()
+	}
+	nw := opts.workers()
+	if nw > len(p.tasks) {
+		nw = len(p.tasks)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var scores []float64
+			var ents []int32
+			var local int64
+			defer func() { scored.Add(local) }()
+			for {
+				ti := int(next.Add(1)) - 1
+				if ti >= len(p.tasks) {
+					return
+				}
+				if cancel != nil {
+					select {
+					case <-cancel:
+						return
+					default:
+					}
+				}
+				n, sc, es := runTask(bs, p, p.tasks[ti], opts, progressTotal, done, ranks, scores, ents)
+				local += n
+				scores, ents = sc, es
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// runTask ranks one chunk of a relation group in both directions. The true
+// triple is scored through the same single-triple code paths the per-query
+// executor uses, so the two executors are bit-identical.
+func runTask(bs kgc.BatchScorer, p *plan, t batchTask, opts Options, progressTotal int, done *atomic.Int64, ranks []float64, scores []float64, ents []int32) (int64, []float64, []int32) {
+	g := t.group
+	idx := g.idx[t.lo:t.hi]
+	nq := len(idx)
+
+	if g.direct {
+		// Pool too large to amortize an embedding gather: score each query
+		// in place through the per-query model calls (identical arithmetic
+		// to the legacy executor).
+		var n int64
+		for _, qi := range idx {
+			q := p.queries[qi]
+			scores = growF64(scores, len(g.tailPool))
+			ranks[2*qi] = rankTail(bs, opts.Filter, q, g.tailPool, scores)
+			n += int64(len(g.tailPool))
+			scores = growF64(scores, len(g.headPool))
+			ranks[2*qi+1] = rankHead(bs, opts.Filter, q, g.headPool, scores)
+			n += int64(len(g.headPool))
+			d := done.Add(1)
+			if opts.Progress != nil {
+				opts.Progress(int(d), progressTotal)
+			}
+		}
+		return n, scores, ents
+	}
+
+	ents = growInt32(ents, nq)
+
+	nc := len(g.tailPool)
+	for i, qi := range idx {
+		ents[i] = p.queries[qi].H
+	}
+	scores = growF64(scores, nq*nc)
+	bs.ScoreTailsBatch(ents, g.r, g.tailPool, scores)
+	for i, qi := range idx {
+		q := p.queries[qi]
+		trueScore := bs.ScoreTriple(q.H, q.R, q.T)
+		ranks[2*qi] = rankScores(q.T, trueScore, g.tailPool, scores[i*nc:(i+1)*nc], opts.Filter.Tails(q.H, q.R))
+	}
+	n := int64(nq) * int64(nc)
+
+	hc := len(g.headPool)
+	for i, qi := range idx {
+		ents[i] = p.queries[qi].T
+	}
+	scores = growF64(scores, nq*hc)
+	bs.ScoreHeadsBatch(ents, g.r, g.headPool, scores)
+	for i, qi := range idx {
+		q := p.queries[qi]
+		trueScore := scoreHeadOne(bs, q)
+		ranks[2*qi+1] = rankScores(q.H, trueScore, g.headPool, scores[i*hc:(i+1)*hc], opts.Filter.Heads(q.R, q.T))
+	}
+	n += int64(nq) * int64(hc)
+
+	for range idx {
+		d := done.Add(1)
+		if opts.Progress != nil {
+			opts.Progress(int(d), progressTotal)
+		}
+	}
+	return n, scores, ents
+}
+
+// runPerQuery is the legacy query-at-a-time executor, kept as the reference
+// implementation the batch path is verified against (and benchmarked over).
+func runPerQuery(m kgc.Model, p *plan, opts Options, progressTotal int, done, scored *atomic.Int64, ranks []float64) {
+	tailPools := make(map[int32][]int32, len(p.groups))
+	headPools := make(map[int32][]int32, len(p.groups))
+	for gi := range p.groups {
+		g := &p.groups[gi]
+		tailPools[g.r] = g.tailPool
+		headPools[g.r] = g.headPool
+	}
+	var cancel <-chan struct{}
+	if opts.Ctx != nil {
+		cancel = opts.Ctx.Done()
+	}
+	queries := p.queries
+	nw := opts.workers()
+	var wg sync.WaitGroup
+	chunk := (len(queries) + nw - 1) / nw
+	for w := 0; w < nw; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(queries) {
+			hi = len(queries)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			var buf []float64
+			var local int64
+			for i := lo; i < hi; i++ {
+				if cancel != nil {
+					select {
+					case <-cancel:
+						scored.Add(local)
+						return
+					default:
+					}
+				}
+				q := queries[i]
+				tp := tailPools[q.R]
+				buf = growF64(buf, len(tp))
+				ranks[2*i] = rankTail(m, opts.Filter, q, tp, buf)
+				local += int64(len(tp))
+
+				hp := headPools[q.R]
+				buf = growF64(buf, len(hp))
+				ranks[2*i+1] = rankHead(m, opts.Filter, q, hp, buf)
+				local += int64(len(hp))
+
+				d := done.Add(1)
+				if opts.Progress != nil {
+					opts.Progress(int(d), progressTotal)
+				}
+			}
+			scored.Add(local)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func growF64(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+func growInt32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
+}

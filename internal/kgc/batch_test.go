@@ -1,0 +1,98 @@
+package kgc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Batch scoring is only an execution strategy: for every model, the batch
+// methods must reproduce the per-query ScoreTails/ScoreHeads outputs bit for
+// bit, since the evaluation ranks compare raw float scores for equality.
+func TestBatchScoringBitIdentical(t *testing.T) {
+	g := trainGraph(t)
+	rng := rand.New(rand.NewSource(77))
+	for _, name := range ModelNames() {
+		m, err := New(name, g, 20, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bs := AsBatchScorer(m)
+
+		const nq, nc = 13, 37
+		qsEnt := make([]int32, nq)
+		for i := range qsEnt {
+			qsEnt[i] = int32(rng.Intn(g.NumEntities))
+		}
+		cands := make([]int32, nc)
+		for i := range cands {
+			cands[i] = int32(rng.Intn(g.NumEntities))
+		}
+		r := int32(rng.Intn(g.NumRelations))
+
+		batch := make([]float64, nq*nc)
+		single := make([]float64, nc)
+
+		bs.ScoreTailsBatch(qsEnt, r, cands, batch)
+		for i, h := range qsEnt {
+			m.ScoreTails(h, r, cands, single)
+			for j := range single {
+				if batch[i*nc+j] != single[j] {
+					t.Fatalf("%s: ScoreTailsBatch[%d,%d] = %v, per-query = %v", name, i, j, batch[i*nc+j], single[j])
+				}
+			}
+		}
+
+		bs.ScoreHeadsBatch(qsEnt, r, cands, batch)
+		for i, tl := range qsEnt {
+			m.ScoreHeads(r, tl, cands, single)
+			for j := range single {
+				if batch[i*nc+j] != single[j] {
+					t.Fatalf("%s: ScoreHeadsBatch[%d,%d] = %v, per-query = %v", name, i, j, batch[i*nc+j], single[j])
+				}
+			}
+		}
+	}
+}
+
+// The embedding models carry native batch implementations; TuckER and ConvE
+// go through the generic per-query adapter.
+func TestAsBatchScorerDispatch(t *testing.T) {
+	g := trainGraph(t)
+	native := map[string]bool{
+		"TransE": true, "DistMult": true, "ComplEx": true, "RESCAL": true, "RotatE": true,
+		"TuckER": false, "ConvE": false,
+	}
+	for name, want := range native {
+		m, err := New(name, g, 8, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bs := AsBatchScorer(m)
+		_, adapted := bs.(batchAdapter)
+		if adapted == want {
+			t.Errorf("%s: native batch scorer = %v, want %v", name, !adapted, want)
+		}
+	}
+	// Idempotent: adapting an adapter must not re-wrap.
+	m, _ := New("TuckER", g, 8, 1)
+	bs := AsBatchScorer(m)
+	if again := AsBatchScorer(bs); again != bs {
+		t.Error("AsBatchScorer re-wrapped an existing BatchScorer")
+	}
+}
+
+// Zero-length query and candidate slices must be safe no-ops.
+func TestBatchScoringEmpty(t *testing.T) {
+	g := trainGraph(t)
+	for _, name := range ModelNames() {
+		m, err := New(name, g, 8, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bs := AsBatchScorer(m)
+		bs.ScoreTailsBatch(nil, 0, []int32{1, 2}, nil)
+		bs.ScoreTailsBatch([]int32{1, 2}, 0, nil, nil)
+		bs.ScoreHeadsBatch(nil, 0, []int32{1, 2}, nil)
+		bs.ScoreHeadsBatch([]int32{1, 2}, 0, nil, nil)
+	}
+}

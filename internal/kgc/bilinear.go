@@ -66,6 +66,38 @@ func (m *DistMult) ScoreHeads(r, t int32, cands []int32, out []float64) {
 	}
 }
 
+// ScoreTailsBatch scores (hs[i], r, cands[j]) into out[i*len(cands)+j],
+// gathering the candidate rows into one contiguous block per call and
+// reusing it for every query in the batch.
+func (m *DistMult) ScoreTailsBatch(hs []int32, r int32, cands []int32, out []float64) {
+	block := m.ent.gather(cands)
+	rv := m.rel.vec(r)
+	qs := make([]float64, len(hs)*m.dim)
+	for i, h := range hs {
+		hv := m.ent.vec(h)
+		q := qs[i*m.dim : (i+1)*m.dim]
+		for k := range q {
+			q[k] = hv[k] * rv[k]
+		}
+	}
+	scoreDotBatch(qs, block, m.dim, len(cands), out)
+}
+
+// ScoreHeadsBatch scores (cands[j], r, ts[i]) into out[i*len(cands)+j].
+func (m *DistMult) ScoreHeadsBatch(ts []int32, r int32, cands []int32, out []float64) {
+	block := m.ent.gather(cands)
+	rv := m.rel.vec(r)
+	qs := make([]float64, len(ts)*m.dim)
+	for i, t := range ts {
+		tv := m.ent.vec(t)
+		q := qs[i*m.dim : (i+1)*m.dim]
+		for k := range q {
+			q[k] = rv[k] * tv[k]
+		}
+	}
+	scoreDotBatch(qs, block, m.dim, len(cands), out)
+}
+
 func (m *DistMult) gradStep(h, r, t int32, coeff, lr float64) {
 	hv, rv, tv := m.ent.vec(h), m.rel.vec(r), m.ent.vec(t)
 	gh := make([]float64, m.dim)
@@ -164,6 +196,38 @@ func (m *ComplEx) ScoreHeads(r, t int32, cands []int32, out []float64) {
 	}
 }
 
+// ScoreTailsBatch scores (hs[i], r, cands[j]) into out[i*len(cands)+j],
+// gathering the candidate rows into one contiguous block per call and
+// reusing it for every query in the batch.
+func (m *ComplEx) ScoreTailsBatch(hs []int32, r int32, cands []int32, out []float64) {
+	block := m.ent.gather(cands)
+	rv := m.rel.vec(r)
+	qs := make([]float64, len(hs)*m.dim)
+	for i, h := range hs {
+		m.queryTail(m.ent.vec(h), rv, qs[i*m.dim:(i+1)*m.dim])
+	}
+	scoreDotBatch(qs, block, m.dim, len(cands), out)
+}
+
+// ScoreHeadsBatch scores (cands[j], r, ts[i]) into out[i*len(cands)+j].
+func (m *ComplEx) ScoreHeadsBatch(ts []int32, r int32, cands []int32, out []float64) {
+	block := m.ent.gather(cands)
+	rv := m.rel.vec(r)
+	d := m.half
+	qs := make([]float64, len(ts)*m.dim)
+	for i, t := range ts {
+		tv := m.ent.vec(t)
+		q := qs[i*m.dim : (i+1)*m.dim]
+		for k := 0; k < d; k++ {
+			rr, ri := rv[k], rv[d+k]
+			tr, ti := tv[k], tv[d+k]
+			q[k] = rr*tr + ri*ti
+			q[d+k] = rr*ti - ri*tr
+		}
+	}
+	scoreDotBatch(qs, block, m.dim, len(cands), out)
+}
+
 func (m *ComplEx) gradStep(h, r, t int32, coeff, lr float64) {
 	hv, rv, tv := m.ent.vec(h), m.rel.vec(r), m.ent.vec(t)
 	d := m.half
@@ -253,6 +317,44 @@ func (m *RESCAL) ScoreHeads(r, t int32, cands []int32, out []float64) {
 	for c, cand := range cands {
 		out[c] = dot(q, m.ent.vec(cand))
 	}
+}
+
+// ScoreTailsBatch scores (hs[i], r, cands[j]) into out[i*len(cands)+j],
+// gathering the candidate rows into one contiguous block per call and
+// reusing it for every query in the batch.
+func (m *RESCAL) ScoreTailsBatch(hs []int32, r int32, cands []int32, out []float64) {
+	block := m.ent.gather(cands)
+	w := m.rel.vec(r)
+	d := m.dim
+	qs := make([]float64, len(hs)*d)
+	for i, h := range hs {
+		hv := m.ent.vec(h)
+		q := qs[i*d : (i+1)*d]
+		for a := 0; a < d; a++ {
+			ha := hv[a]
+			row := w[a*d : a*d+d]
+			for j := 0; j < d; j++ {
+				q[j] += ha * row[j]
+			}
+		}
+	}
+	scoreDotBatch(qs, block, d, len(cands), out)
+}
+
+// ScoreHeadsBatch scores (cands[j], r, ts[i]) into out[i*len(cands)+j].
+func (m *RESCAL) ScoreHeadsBatch(ts []int32, r int32, cands []int32, out []float64) {
+	block := m.ent.gather(cands)
+	w := m.rel.vec(r)
+	d := m.dim
+	qs := make([]float64, len(ts)*d)
+	for i, t := range ts {
+		tv := m.ent.vec(t)
+		q := qs[i*d : (i+1)*d]
+		for a := 0; a < d; a++ {
+			q[a] = dot(w[a*d:a*d+d], tv)
+		}
+	}
+	scoreDotBatch(qs, block, d, len(cands), out)
 }
 
 func (m *RESCAL) gradStep(h, r, t int32, coeff, lr float64) {

@@ -106,6 +106,38 @@ func (m *RotatE) ScoreHeads(r, t int32, cands []int32, out []float64) {
 	}
 }
 
+// ScoreTailsBatch scores (hs[i], r, cands[j]) into out[i*len(cands)+j],
+// gathering the candidate rows into one contiguous block per call and
+// reusing it for every query in the batch.
+func (m *RotatE) ScoreTailsBatch(hs []int32, r int32, cands []int32, out []float64) {
+	block := m.ent.gather(cands)
+	phases := m.rel.vec(r)
+	qs := make([]float64, len(hs)*m.dim)
+	for i, h := range hs {
+		q := qs[i*m.dim : (i+1)*m.dim]
+		m.rotated(m.ent.vec(h), phases, q[:m.half], q[m.half:])
+	}
+	scoreRotBatch(qs, block, m.dim, m.half, len(cands), out)
+}
+
+// ScoreHeadsBatch scores (cands[j], r, ts[i]) into out[i*len(cands)+j]: the
+// inverse rotation is computed once for the whole batch, then each t is
+// rotated by it as in the per-query path.
+func (m *RotatE) ScoreHeadsBatch(ts []int32, r int32, cands []int32, out []float64) {
+	block := m.ent.gather(cands)
+	phases := m.rel.vec(r)
+	inv := make([]float64, m.half)
+	for i := range inv {
+		inv[i] = -phases[i]
+	}
+	qs := make([]float64, len(ts)*m.dim)
+	for i, t := range ts {
+		q := qs[i*m.dim : (i+1)*m.dim]
+		m.rotated(m.ent.vec(t), inv, q[:m.half], q[m.half:])
+	}
+	scoreRotBatch(qs, block, m.dim, m.half, len(cands), out)
+}
+
 func (m *RotatE) gradStep(h, r, t int32, coeff, lr float64) {
 	d := m.half
 	hv, tv := m.ent.vec(h), m.ent.vec(t)

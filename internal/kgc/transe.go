@@ -76,6 +76,38 @@ func (m *TransE) ScoreHeads(r, t int32, cands []int32, out []float64) {
 	}
 }
 
+// ScoreTailsBatch scores (hs[i], r, cands[j]) into out[i*len(cands)+j],
+// gathering the candidate rows into one contiguous block per call and
+// reusing it for every query in the batch.
+func (m *TransE) ScoreTailsBatch(hs []int32, r int32, cands []int32, out []float64) {
+	block := m.ent.gather(cands)
+	rv := m.rel.vec(r)
+	qs := make([]float64, len(hs)*m.dim)
+	for i, h := range hs {
+		hv := m.ent.vec(h)
+		q := qs[i*m.dim : (i+1)*m.dim]
+		for k := range q {
+			q[k] = hv[k] + rv[k]
+		}
+	}
+	scoreL1Batch(qs, block, m.dim, len(cands), out)
+}
+
+// ScoreHeadsBatch scores (cands[j], r, ts[i]) into out[i*len(cands)+j].
+func (m *TransE) ScoreHeadsBatch(ts []int32, r int32, cands []int32, out []float64) {
+	block := m.ent.gather(cands)
+	rv := m.rel.vec(r)
+	qs := make([]float64, len(ts)*m.dim)
+	for i, t := range ts {
+		tv := m.ent.vec(t)
+		q := qs[i*m.dim : (i+1)*m.dim]
+		for k := range q {
+			q[k] = tv[k] - rv[k] // score = -||h - (t - r)||
+		}
+	}
+	scoreL1Batch(qs, block, m.dim, len(cands), out)
+}
+
 // gradStep: d(−‖h+r−t‖₁)/dh_i = −sign(h_i+r_i−t_i), etc.
 func (m *TransE) gradStep(h, r, t int32, coeff, lr float64) {
 	hv, rv, tv := m.ent.vec(h), m.rel.vec(r), m.ent.vec(t)

@@ -85,6 +85,9 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	}
 	if cfg.DefaultNumSamples <= 0 {
 		cfg.DefaultNumSamples = cfg.Graph.NumEntities / 10
+		if cfg.DefaultNumSamples < 1 {
+			cfg.DefaultNumSamples = 1 // tiny graphs: never sample empty pools
+		}
 	}
 	if cfg.DefaultSeed == 0 {
 		cfg.DefaultSeed = 1
@@ -182,25 +185,50 @@ func (e *Engine) withDefaults(spec JobSpec) JobSpec {
 	return spec
 }
 
-func (e *Engine) validate(spec JobSpec) error {
-	if spec.Model.Name == "" {
-		return errors.New("service: model.name is required")
+// maxModelDim bounds model.dim in job specs: model construction allocates
+// before the snapshot is length-checked (RESCAL's relation table is
+// |R|·dim² floats), so an absurd dim must be rejected at submission instead
+// of panicking a worker via an overflowing make.
+const maxModelDim = 8192
+
+func validateModelSpec(ms ModelSpec) error {
+	if ms.Name == "" {
+		return errors.New("model.name is required")
 	}
 	known := false
 	for _, n := range kgc.ModelNames() {
-		if n == spec.Model.Name {
+		if n == ms.Name {
 			known = true
 			break
 		}
 	}
 	if !known {
-		return fmt.Errorf("service: unknown model %q", spec.Model.Name)
+		return fmt.Errorf("unknown model %q", ms.Name)
 	}
-	if spec.Model.Dim <= 0 {
-		return errors.New("service: model.dim must be positive")
+	if ms.Dim <= 0 {
+		return errors.New("model.dim must be positive")
 	}
-	if len(spec.Model.Snapshot) == 0 {
-		return errors.New("service: model.snapshot is required")
+	if ms.Dim > maxModelDim {
+		return fmt.Errorf("model.dim %d exceeds the maximum %d", ms.Dim, maxModelDim)
+	}
+	if len(ms.Snapshot) == 0 {
+		return errors.New("model.snapshot is required")
+	}
+	return nil
+}
+
+func (e *Engine) validate(spec JobSpec) error {
+	if len(spec.Models) > 0 {
+		if spec.Model.Name != "" || len(spec.Model.Snapshot) > 0 {
+			return errors.New("service: set model or models, not both")
+		}
+		for i, ms := range spec.Models {
+			if err := validateModelSpec(ms); err != nil {
+				return fmt.Errorf("service: models[%d]: %w", i, err)
+			}
+		}
+	} else if err := validateModelSpec(spec.Model); err != nil {
+		return fmt.Errorf("service: %w", err)
 	}
 	if spec.Split != "test" && spec.Split != "valid" {
 		return fmt.Errorf("service: unknown split %q (want test or valid)", spec.Split)
@@ -269,33 +297,63 @@ func (e *Engine) run(j *Job) {
 	if !j.transition(StateRunning, nil) {
 		return // cancelled while queued
 	}
-	res, cacheHit, err := e.execute(j)
+	// A panic in evaluation (a malformed snapshot driving a model into an
+	// impossible state) must fail the one job, not kill the worker pool.
+	defer func() {
+		if r := recover(); r != nil {
+			j.fail(fmt.Errorf("service: evaluation panicked: %v", r))
+		}
+	}()
+	names, results, cacheHit, err := e.execute(j)
 	switch {
 	case j.ctx.Err() != nil:
 		// Cancel already finalized the state; nothing to record.
 	case err != nil:
 		j.fail(err)
+	case len(j.Spec.Models) > 0:
+		j.succeedMany(names, results, cacheHit)
 	default:
-		j.succeed(res, cacheHit)
+		j.succeed(results[0], cacheHit)
 	}
 }
 
-// execute performs the evaluation work of one job: reconstruct the model
-// from its snapshot, resolve (or fit) the framework, and run the protocol.
-func (e *Engine) execute(j *Job) (eval.Result, bool, error) {
+// execute performs the evaluation work of one job: reconstruct the model(s)
+// from their snapshots, resolve (or fit) the framework, and run the
+// protocol. Single- and multi-model jobs share one path — a single model is
+// a fleet of one — so multi-model jobs get the shared-pool evaluation
+// (EstimateMany) for free.
+func (e *Engine) execute(j *Job) ([]string, []eval.Result, bool, error) {
 	spec := j.Spec
-	m, err := kgc.New(spec.Model.Name, e.graph, spec.Model.Dim, spec.Model.Seed)
-	if err != nil {
-		return eval.Result{}, false, err
+	specs := spec.Models
+	if len(specs) == 0 {
+		specs = []ModelSpec{spec.Model}
 	}
-	err = kgc.Load(bytes.NewReader(spec.Model.Snapshot), m)
-	// The snapshot bytes (potentially many MB) are never needed again and
-	// never exposed via Status; drop them so retained jobs stay small.
+	models := make([]kgc.Model, len(specs))
+	names := make([]string, len(specs))
+	var loadErr error
+	for i, ms := range specs {
+		m, err := kgc.New(ms.Name, e.graph, ms.Dim, ms.Seed)
+		if err != nil {
+			loadErr = err
+			break
+		}
+		if err := kgc.Load(bytes.NewReader(ms.Snapshot), m); err != nil {
+			loadErr = fmt.Errorf("service: loading %s snapshot: %w", ms.Name, err)
+			break
+		}
+		models[i] = m
+		names[i] = ms.Name
+	}
+	// The snapshot bytes (potentially many MB each) are never needed again
+	// and never exposed via Status; drop them so retained jobs stay small.
 	j.mu.Lock()
 	j.Spec.Model.Snapshot = nil
+	for i := range j.Spec.Models {
+		j.Spec.Models[i].Snapshot = nil
+	}
 	j.mu.Unlock()
-	if err != nil {
-		return eval.Result{}, false, fmt.Errorf("service: loading model snapshot: %w", err)
+	if loadErr != nil {
+		return nil, nil, false, loadErr
 	}
 
 	split := e.graph.Test
@@ -312,13 +370,13 @@ func (e *Engine) execute(j *Job) (eval.Result, bool, error) {
 	}
 
 	if spec.Strategy == "full" {
-		res := eval.Evaluate(m, e.graph, split, eval.NewFullProvider(e.graph.NumEntities), opts)
-		return res, false, nil
+		res := eval.EvaluateMany(models, e.graph, split, eval.NewFullProvider(e.graph.NumEntities), opts)
+		return names, res, false, nil
 	}
 
 	strategy, err := core.ParseStrategy(spec.Strategy)
 	if err != nil {
-		return eval.Result{}, false, err
+		return nil, nil, false, err
 	}
 	key := CacheKey{Graph: e.fp, Recommender: spec.Recommender, NumSamples: spec.NumSamples}
 	fw, cacheHit, err := e.cache.Get(key, func() (*core.Framework, error) {
@@ -333,10 +391,10 @@ func (e *Engine) execute(j *Job) (eval.Result, bool, error) {
 		return fw, nil
 	})
 	if err != nil {
-		return eval.Result{}, cacheHit, err
+		return nil, nil, cacheHit, err
 	}
-	res := eval.Evaluate(m, e.graph, split, fw.Provider(strategy), opts)
-	return res, cacheHit, nil
+	res := fw.EstimateMany(models, e.graph, split, strategy, opts)
+	return names, res, cacheHit, nil
 }
 
 // EngineStats aggregates engine-level counters for the stats endpoint.

@@ -6,7 +6,8 @@
 //
 // The package provides three layers:
 //
-//	Job             a queued evaluation request with observable state
+//	Job             a queued evaluation request — one model or a fleet
+//	                evaluated over shared pools — with observable state
 //	                transitions, incremental progress and cancellation;
 //	FrameworkCache  an LRU of fitted core.Frameworks keyed by graph
 //	                fingerprint + recommender + n_s, so Fit cost is paid
@@ -59,7 +60,15 @@ type ModelSpec struct {
 
 // JobSpec is the submission payload for one evaluation.
 type JobSpec struct {
+	// Model is the single snapshot to evaluate. Mutually exclusive with
+	// Models.
 	Model ModelSpec `json:"model"`
+	// Models, when non-empty, evaluates several snapshots in one pass over
+	// shared candidate pools (core.Framework.EstimateMany): pools are drawn
+	// once and every model is ranked on identical ground, amortizing the
+	// per-pass setup across the fleet — the model-selection workload.
+	// Results appear per model in Status.Results, in submission order.
+	Models []ModelSpec `json:"models,omitempty"`
 	// Split selects the query set: "test" (default) or "valid".
 	Split string `json:"split,omitempty"`
 	// Strategy is "R", "P" or "S" (core.ParseStrategy), or "full" for the
@@ -103,6 +112,7 @@ type Job struct {
 	state    State
 	progress Progress
 	result   *eval.Result
+	results  []ModelResult // multi-model jobs only
 	errMsg   string
 	cacheHit bool
 	created  time.Time
@@ -203,6 +213,17 @@ func (j *Job) succeed(res eval.Result, cacheHit bool) bool {
 	})
 }
 
+// succeedMany finalizes a multi-model job with one result per model.
+func (j *Job) succeedMany(names []string, res []eval.Result, cacheHit bool) bool {
+	return j.transition(StateSucceeded, func() {
+		j.results = make([]ModelResult, len(res))
+		for i, r := range res {
+			j.results[i] = ModelResult{Model: names[i], ResultStatus: resultStatus(r)}
+		}
+		j.cacheHit = cacheHit
+	})
+}
+
 func (j *Job) fail(err error) bool {
 	return j.transition(StateFailed, func() { j.errMsg = err.Error() })
 }
@@ -255,11 +276,30 @@ type ResultStatus struct {
 	ElapsedMS        float64 `json:"elapsed_ms"`
 }
 
+// ModelResult pairs one model's name with its metrics in a multi-model job.
+type ModelResult struct {
+	Model string `json:"model"`
+	ResultStatus
+}
+
+func resultStatus(r eval.Result) ResultStatus {
+	return ResultStatus{
+		MRR: r.MRR, Hits1: r.Hits1, Hits3: r.Hits3, Hits10: r.Hits10,
+		MR: r.MR, Queries: r.Queries,
+		CandidatesScored: r.CandidatesScored,
+		ElapsedMS:        float64(r.Elapsed) / float64(time.Millisecond),
+	}
+}
+
 // Status is a point-in-time snapshot of a job, also the API's JSON shape.
+// Single-model jobs populate Model and Result; multi-model jobs populate
+// Models and, once succeeded, Results (one entry per model, in submission
+// order).
 type Status struct {
 	ID          string        `json:"id"`
 	State       State         `json:"state"`
-	Model       string        `json:"model"`
+	Model       string        `json:"model,omitempty"`
+	Models      []string      `json:"models,omitempty"`
 	Split       string        `json:"split"`
 	Strategy    string        `json:"strategy"`
 	Recommender string        `json:"recommender,omitempty"`
@@ -267,6 +307,7 @@ type Status struct {
 	CacheHit    bool          `json:"cache_hit"`
 	Progress    Progress      `json:"progress"`
 	Result      *ResultStatus `json:"result,omitempty"`
+	Results     []ModelResult `json:"results,omitempty"`
 	Error       string        `json:"error,omitempty"`
 	CreatedAt   time.Time     `json:"created_at"`
 	StartedAt   *time.Time    `json:"started_at,omitempty"`
@@ -290,6 +331,9 @@ func (j *Job) Status() Status {
 		Error:       j.errMsg,
 		CreatedAt:   j.created,
 	}
+	for _, ms := range j.Spec.Models {
+		st.Models = append(st.Models, ms.Name)
+	}
 	if !j.started.IsZero() {
 		t := j.started
 		st.StartedAt = &t
@@ -299,13 +343,11 @@ func (j *Job) Status() Status {
 		st.FinishedAt = &t
 	}
 	if j.result != nil {
-		r := j.result
-		st.Result = &ResultStatus{
-			MRR: r.MRR, Hits1: r.Hits1, Hits3: r.Hits3, Hits10: r.Hits10,
-			MR: r.MR, Queries: r.Queries,
-			CandidatesScored: r.CandidatesScored,
-			ElapsedMS:        float64(r.Elapsed) / float64(time.Millisecond),
-		}
+		rs := resultStatus(*j.result)
+		st.Result = &rs
+	}
+	if j.results != nil {
+		st.Results = append([]ModelResult(nil), j.results...)
 	}
 	return st
 }

@@ -68,9 +68,14 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.engine.Stats())
 }
 
+// maxSubmitBytes caps a job submission body (snapshots are the bulk; the
+// largest plausible fleet stays far under this) so one oversized POST cannot
+// exhaust the daemon's memory.
+const maxSubmitBytes = 256 << 20
+
 func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec JobSpec
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSubmitBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding job spec: %w", err))

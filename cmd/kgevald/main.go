@@ -10,10 +10,15 @@
 // one relation-grouped pass over shared candidate pools, with per-model
 // results in the job output.
 //
+// Observability: GET /metrics serves the Prometheus text exposition (eval
+// stage histograms, job latency histograms, queue and cache counters);
+// -pprof additionally mounts net/http/pprof under /debug/pprof/. Logs are
+// structured (log/slog); -log-level selects the threshold.
+//
 // Usage:
 //
 //	kgevald -dataset wikikg2-sim -addr :8080
-//	kgevald -data ./data/codexs -workers 4 -cache 16
+//	kgevald -data ./data/codexs -workers 4 -cache 16 -pprof -log-level debug
 //
 // API walkthrough (see README.md for a complete curl session):
 //
@@ -22,15 +27,19 @@
 //	curl -s localhost:8080/v1/jobs/j000001
 //	curl -N localhost:8080/v1/jobs/j000001/stream
 //	curl -s -X POST localhost:8080/v1/jobs/j000001/cancel
+//	curl -s localhost:8080/metrics
+//	go tool pprof "localhost:8080/debug/pprof/profile?seconds=10"
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"kgeval/internal/kg"
 	"kgeval/internal/service"
@@ -38,8 +47,6 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("kgevald: ")
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
 		dataset     = flag.String("dataset", "wikikg2-sim", "synthetic dataset preset to host (ignored when -data is set)")
@@ -50,30 +57,39 @@ func main() {
 		cacheSize   = flag.Int("cache", 8, "fitted-framework LRU capacity")
 		ns          = flag.Int("ns", 0, "default candidate samples per relation/direction (0 = 10% of |E|)")
 		seed        = flag.Int64("seed", 1, "default seed for sampling and recommender fitting")
+		logLevel    = flag.String("log-level", "info", "log threshold: debug, info, warn or error")
+		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
+	logger, err := newLogger(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kgevald:", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
+
 	var g *kg.Graph
 	if *dataDir != "" {
-		var err error
 		g, err = loadDir(*dataDir)
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger, "loading dataset directory", err)
 		}
 	} else {
 		cfg, ok := synth.PresetByName(*dataset)
 		if !ok {
-			log.Fatalf("unknown dataset %q", *dataset)
+			fatal(logger, "resolving dataset", fmt.Errorf("unknown dataset %q", *dataset))
 		}
-		log.Printf("generating %s...", *dataset)
+		logger.Info("generating dataset", "preset", *dataset)
 		ds, err := synth.Generate(cfg)
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger, "generating dataset", err)
 		}
 		g = ds.Graph
 	}
-	log.Printf("hosting %s: |E|=%d |R|=%d train=%d valid=%d test=%d",
-		g.Name, g.NumEntities, g.NumRelations, len(g.Train), len(g.Valid), len(g.Test))
+	logger.Info("hosting graph",
+		"graph", g.Name, "entities", g.NumEntities, "relations", g.NumRelations,
+		"train", len(g.Train), "valid", len(g.Valid), "test", len(g.Test))
 
 	engine, err := service.NewEngine(service.EngineConfig{
 		Graph:             g,
@@ -85,14 +101,51 @@ func main() {
 		DefaultSeed:       *seed,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal(logger, "starting engine", err)
 	}
 	defer engine.Close()
 
-	log.Printf("listening on %s (workers=%d cache=%d)", *addr, *workers, *cacheSize)
-	if err := http.ListenAndServe(*addr, service.NewServer(engine)); err != nil {
-		log.Fatal(err)
+	handler := service.NewServer(engine)
+	if *pprofOn {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+		handler = mux
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
 	}
+
+	logger.Info("listening", "addr", *addr, "workers", *workers, "cache", *cacheSize, "pprof", *pprofOn)
+	if err := http.ListenAndServe(*addr, handler); err != nil {
+		fatal(logger, "serving", err)
+	}
+}
+
+// newLogger builds the process logger at the requested threshold.
+func newLogger(level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn or error)", level)
+	}
+	h := slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})
+	return slog.New(h).With("component", "kgevald"), nil
+}
+
+func fatal(logger *slog.Logger, msg string, err error) {
+	logger.Error(msg, "err", err)
+	os.Exit(1)
 }
 
 // loadDir reads a datagen-style dataset directory. Entity/relation/type

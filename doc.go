@@ -14,7 +14,11 @@
 //	                      as a relation-grouped plan: queries bucketed per
 //	                      relation, pools drawn once, whole relations scored
 //	                      in batches (the legacy per-query executor remains
-//	                      behind Options.PerQuery as the verified baseline)
+//	                      behind Options.PerQuery as the verified baseline);
+//	                      every Result carries a StageTimings breakdown of
+//	                      plan compile / pool draw / score / rank-merge time
+//	internal/obs          dependency-free metrics: counters, gauges, exact
+//	                      mergeable histograms, Prometheus text exposition
 //	internal/service      evaluation-as-a-service: job engine (single- and
 //	                      multi-model jobs), framework cache and the kgevald
 //	                      HTTP API

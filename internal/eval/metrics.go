@@ -1,0 +1,41 @@
+package eval
+
+import "kgeval/internal/obs"
+
+// The eval package's instruments live in obs.Default: evaluation passes run
+// inside library calls (CLIs, the service engine, experiments), and one
+// process-wide registry lets every entry point share the same trajectory.
+// Servers expose them by mounting obs.Handler(..., obs.Default).
+var (
+	stageHelp  = "Time per evaluation pipeline stage, in seconds. plan_compile and pool_draw are wall-clock per plan; score and rank_merge are CPU time summed across workers per pass."
+	stagePlan  = obs.Default.Histogram("kgeval_eval_stage_seconds", stageHelp, obs.DurationBuckets, obs.Label{Key: "stage", Value: "plan_compile"})
+	stagePool  = obs.Default.Histogram("kgeval_eval_stage_seconds", stageHelp, obs.DurationBuckets, obs.Label{Key: "stage", Value: "pool_draw"})
+	stageScore = obs.Default.Histogram("kgeval_eval_stage_seconds", stageHelp, obs.DurationBuckets, obs.Label{Key: "stage", Value: "score"})
+	stageRank  = obs.Default.Histogram("kgeval_eval_stage_seconds", stageHelp, obs.DurationBuckets, obs.Label{Key: "stage", Value: "rank_merge"})
+
+	passSeconds = obs.Default.Histogram("kgeval_eval_pass_seconds",
+		"Wall-clock time of one model's evaluation pass.", obs.DurationBuckets)
+	passesTotal = obs.Default.Counter("kgeval_eval_passes_total",
+		"Evaluation passes completed (one per model per Evaluate/EvaluateMany call).")
+	queriesTotal = obs.Default.Counter("kgeval_eval_queries_total",
+		"Ranking queries evaluated (two per triple: tail and head).")
+	candidatesTotal = obs.Default.Counter("kgeval_eval_candidates_scored_total",
+		"Candidate entity scorings performed — the evaluation's true workload.")
+)
+
+// observePlan records the one-time setup stages of a compiled plan.
+func observePlan(p *plan) {
+	stagePlan.Observe(p.compileTime.Seconds())
+	stagePool.Observe(p.poolTime.Seconds())
+}
+
+// observePass records one model pass: its scoring/ranking stage split and
+// the pass-level throughput counters.
+func observePass(res Result) {
+	stageScore.Observe(res.Stages.Score.Seconds())
+	stageRank.Observe(res.Stages.RankMerge.Seconds())
+	passSeconds.Observe(res.Elapsed.Seconds())
+	passesTotal.Inc()
+	queriesTotal.Add(int64(res.Queries))
+	candidatesTotal.Add(res.CandidatesScored)
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"kgeval/internal/kg"
 	"kgeval/internal/kgc"
@@ -61,6 +62,11 @@ type plan struct {
 	queries []kg.Triple
 	groups  []relGroup
 	tasks   []batchTask
+	// compileTime and poolTime are the plan's one-time setup costs
+	// (grouping + chunking, and the 2·|R| pool draws), recorded here so
+	// every pass over the plan can report them in Result.Stages.
+	compileTime time.Duration
+	poolTime    time.Duration
 }
 
 // newPlan groups the queries by relation and draws every pool. Pools are
@@ -69,6 +75,7 @@ type plan struct {
 // executions (batch or per-query, one model or many) with the same Seed see
 // identical pools.
 func newPlan(queries []kg.Triple, provider CandidateProvider, opts Options) *plan {
+	start := time.Now()
 	counts := map[int32]int{}
 	for _, q := range queries {
 		counts[q.R]++
@@ -94,13 +101,16 @@ func newPlan(queries []kg.Triple, provider CandidateProvider, opts Options) *pla
 		p.groups[gi].idx = append(p.groups[gi].idx, i)
 	}
 
+	drawStart := time.Now()
 	rng := rand.New(rand.NewSource(opts.Seed + 1))
 	for gi := range p.groups {
 		g := &p.groups[gi]
 		g.tailPool = provider.Candidates(g.r, true, rng)
 		g.headPool = provider.Candidates(g.r, false, rng)
 	}
+	p.poolTime = time.Since(drawStart)
 	p.chunk()
+	p.compileTime = time.Since(start) - p.poolTime
 	return p
 }
 
@@ -143,27 +153,51 @@ func subsample(split []kg.Triple, opts Options) []kg.Triple {
 	return shuffled[:opts.MaxQueries]
 }
 
+// stageClock accumulates scoring and ranking time across the pass's worker
+// goroutines: each worker adds section durations at task granularity, so the
+// totals measure CPU time spent per stage (they exceed wall time on a
+// parallel pass).
+type stageClock struct {
+	scoreNS atomic.Int64
+	rankNS  atomic.Int64
+}
+
+func (c *stageClock) timings() (score, rank time.Duration) {
+	return time.Duration(c.scoreNS.Load()), time.Duration(c.rankNS.Load())
+}
+
+// taskBufs are one worker's reusable scratch buffers.
+type taskBufs struct {
+	scores []float64 // chunk × pool score block
+	ents   []int32   // gathered query entities
+	trues  []float64 // true-triple scores of the chunk
+}
+
 // runPass executes one model over the plan and returns its metrics. done is
 // the cross-model triple counter driving the Progress hook; progressTotal is
 // the hook's total (len(queries) for Evaluate, #models × len(queries) for
-// EvaluateMany). Elapsed is left for the caller to fill.
+// EvaluateMany). Elapsed and the plan-level Stages are left for the caller
+// to fill.
 func runPass(m kgc.Model, p *plan, opts Options, progressTotal int, done *atomic.Int64) Result {
 	// Unprocessed queries (cancelled mid-pass) leave their rank at 0, which
 	// metricsFromRanks skips; processed ranks are always >= 1.
 	ranks := make([]float64, 2*len(p.queries))
 	var scored atomic.Int64
+	var clock stageClock
 	if opts.PerQuery {
-		runPerQuery(m, p, opts, progressTotal, done, &scored, ranks)
+		runPerQuery(m, p, opts, progressTotal, done, &scored, &clock, ranks)
 	} else {
-		runBatch(kgc.AsBatchScorer(m), p, opts, progressTotal, done, &scored, ranks)
+		runBatch(kgc.AsBatchScorer(m), p, opts, progressTotal, done, &scored, &clock, ranks)
 	}
-	return Result{Metrics: metricsFromRanks(ranks), CandidatesScored: scored.Load()}
+	res := Result{Metrics: metricsFromRanks(ranks), CandidatesScored: scored.Load()}
+	res.Stages.Score, res.Stages.RankMerge = clock.timings()
+	return res
 }
 
 // runBatch is the relation-grouped executor: workers pull batchTasks and
 // score whole chunks through the model's BatchScorer, reusing their entity
 // and score buffers across tasks.
-func runBatch(bs kgc.BatchScorer, p *plan, opts Options, progressTotal int, done, scored *atomic.Int64, ranks []float64) {
+func runBatch(bs kgc.BatchScorer, p *plan, opts Options, progressTotal int, done, scored *atomic.Int64, clock *stageClock, ranks []float64) {
 	var cancel <-chan struct{}
 	if opts.Ctx != nil {
 		cancel = opts.Ctx.Done()
@@ -178,8 +212,7 @@ func runBatch(bs kgc.BatchScorer, p *plan, opts Options, progressTotal int, done
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var scores []float64
-			var ents []int32
+			var bufs taskBufs
 			var local int64
 			defer func() { scored.Add(local) }()
 			for {
@@ -194,9 +227,7 @@ func runBatch(bs kgc.BatchScorer, p *plan, opts Options, progressTotal int, done
 					default:
 					}
 				}
-				n, sc, es := runTask(bs, p, p.tasks[ti], opts, progressTotal, done, ranks, scores, ents)
-				local += n
-				scores, ents = sc, es
+				local += runTask(bs, p, p.tasks[ti], opts, progressTotal, done, clock, ranks, &bufs)
 			}
 		}()
 	}
@@ -205,8 +236,10 @@ func runBatch(bs kgc.BatchScorer, p *plan, opts Options, progressTotal int, done
 
 // runTask ranks one chunk of a relation group in both directions. The true
 // triple is scored through the same single-triple code paths the per-query
-// executor uses, so the two executors are bit-identical.
-func runTask(bs kgc.BatchScorer, p *plan, t batchTask, opts Options, progressTotal int, done *atomic.Int64, ranks []float64, scores []float64, ents []int32) (int64, []float64, []int32) {
+// executor uses, so the two executors are bit-identical. Section timings
+// land in clock at task granularity — two timed sections per direction —
+// keeping the instrumentation overhead far below one timestamp per query.
+func runTask(bs kgc.BatchScorer, p *plan, t batchTask, opts Options, progressTotal int, done *atomic.Int64, clock *stageClock, ranks []float64, bufs *taskBufs) int64 {
 	g := t.group
 	idx := g.idx[t.lo:t.hi]
 	nq := len(idx)
@@ -214,50 +247,87 @@ func runTask(bs kgc.BatchScorer, p *plan, t batchTask, opts Options, progressTot
 	if g.direct {
 		// Pool too large to amortize an embedding gather: score each query
 		// in place through the per-query model calls (identical arithmetic
-		// to the legacy executor).
+		// to the legacy executor), splitting scoring from rank counting so
+		// the stage breakdown still holds under the full protocol.
 		var n int64
+		var scoreNS, rankNS int64
 		for _, qi := range idx {
 			q := p.queries[qi]
-			scores = growF64(scores, len(g.tailPool))
-			ranks[2*qi] = rankTail(bs, opts.Filter, q, g.tailPool, scores)
+
+			t0 := time.Now()
+			bufs.scores = growF64(bufs.scores, len(g.tailPool))
+			tailTrue := bs.ScoreTriple(q.H, q.R, q.T)
+			bs.ScoreTails(q.H, q.R, g.tailPool, bufs.scores)
+			t1 := time.Now()
+			ranks[2*qi] = rankScores(q.T, tailTrue, g.tailPool, bufs.scores, opts.Filter.Tails(q.H, q.R))
+			t2 := time.Now()
 			n += int64(len(g.tailPool))
-			scores = growF64(scores, len(g.headPool))
-			ranks[2*qi+1] = rankHead(bs, opts.Filter, q, g.headPool, scores)
+
+			bufs.scores = growF64(bufs.scores, len(g.headPool))
+			headTrue := scoreHeadOne(bs, q)
+			bs.ScoreHeads(q.R, q.T, g.headPool, bufs.scores)
+			t3 := time.Now()
+			ranks[2*qi+1] = rankScores(q.H, headTrue, g.headPool, bufs.scores, opts.Filter.Heads(q.R, q.T))
+			t4 := time.Now()
 			n += int64(len(g.headPool))
+
+			scoreNS += int64(t1.Sub(t0)) + int64(t3.Sub(t2))
+			rankNS += int64(t2.Sub(t1)) + int64(t4.Sub(t3))
 			d := done.Add(1)
 			if opts.Progress != nil {
 				opts.Progress(int(d), progressTotal)
 			}
 		}
-		return n, scores, ents
+		clock.scoreNS.Add(scoreNS)
+		clock.rankNS.Add(rankNS)
+		return n
 	}
 
-	ents = growInt32(ents, nq)
+	bufs.ents = growInt32(bufs.ents, nq)
+	bufs.trues = growF64(bufs.trues, nq)
+	ents, trues := bufs.ents, bufs.trues
 
+	scoreStart := time.Now()
 	nc := len(g.tailPool)
 	for i, qi := range idx {
 		ents[i] = p.queries[qi].H
 	}
-	scores = growF64(scores, nq*nc)
+	bufs.scores = growF64(bufs.scores, nq*nc)
+	scores := bufs.scores
 	bs.ScoreTailsBatch(ents, g.r, g.tailPool, scores)
 	for i, qi := range idx {
 		q := p.queries[qi]
-		trueScore := bs.ScoreTriple(q.H, q.R, q.T)
-		ranks[2*qi] = rankScores(q.T, trueScore, g.tailPool, scores[i*nc:(i+1)*nc], opts.Filter.Tails(q.H, q.R))
+		trues[i] = bs.ScoreTriple(q.H, q.R, q.T)
 	}
+	clock.scoreNS.Add(int64(time.Since(scoreStart)))
+
+	rankStart := time.Now()
+	for i, qi := range idx {
+		q := p.queries[qi]
+		ranks[2*qi] = rankScores(q.T, trues[i], g.tailPool, scores[i*nc:(i+1)*nc], opts.Filter.Tails(q.H, q.R))
+	}
+	clock.rankNS.Add(int64(time.Since(rankStart)))
 	n := int64(nq) * int64(nc)
 
+	scoreStart = time.Now()
 	hc := len(g.headPool)
 	for i, qi := range idx {
 		ents[i] = p.queries[qi].T
 	}
-	scores = growF64(scores, nq*hc)
+	bufs.scores = growF64(bufs.scores, nq*hc)
+	scores = bufs.scores
 	bs.ScoreHeadsBatch(ents, g.r, g.headPool, scores)
 	for i, qi := range idx {
-		q := p.queries[qi]
-		trueScore := scoreHeadOne(bs, q)
-		ranks[2*qi+1] = rankScores(q.H, trueScore, g.headPool, scores[i*hc:(i+1)*hc], opts.Filter.Heads(q.R, q.T))
+		trues[i] = scoreHeadOne(bs, p.queries[qi])
 	}
+	clock.scoreNS.Add(int64(time.Since(scoreStart)))
+
+	rankStart = time.Now()
+	for i, qi := range idx {
+		q := p.queries[qi]
+		ranks[2*qi+1] = rankScores(q.H, trues[i], g.headPool, scores[i*hc:(i+1)*hc], opts.Filter.Heads(q.R, q.T))
+	}
+	clock.rankNS.Add(int64(time.Since(rankStart)))
 	n += int64(nq) * int64(hc)
 
 	for range idx {
@@ -266,12 +336,14 @@ func runTask(bs kgc.BatchScorer, p *plan, t batchTask, opts Options, progressTot
 			opts.Progress(int(d), progressTotal)
 		}
 	}
-	return n, scores, ents
+	return n
 }
 
 // runPerQuery is the legacy query-at-a-time executor, kept as the reference
 // implementation the batch path is verified against (and benchmarked over).
-func runPerQuery(m kgc.Model, p *plan, opts Options, progressTotal int, done, scored *atomic.Int64, ranks []float64) {
+// Its scoring and ranking are interleaved inside rankTail/rankHead, so the
+// stage clock attributes the whole loop to Score.
+func runPerQuery(m kgc.Model, p *plan, opts Options, progressTotal int, done, scored *atomic.Int64, clock *stageClock, ranks []float64) {
 	tailPools := make(map[int32][]int32, len(p.groups))
 	headPools := make(map[int32][]int32, len(p.groups))
 	for gi := range p.groups {
@@ -300,16 +372,20 @@ func runPerQuery(m kgc.Model, p *plan, opts Options, progressTotal int, done, sc
 		go func(lo, hi int) {
 			defer wg.Done()
 			var buf []float64
-			var local int64
+			var local, localNS int64
+			defer func() {
+				scored.Add(local)
+				clock.scoreNS.Add(localNS)
+			}()
 			for i := lo; i < hi; i++ {
 				if cancel != nil {
 					select {
 					case <-cancel:
-						scored.Add(local)
 						return
 					default:
 					}
 				}
+				t0 := time.Now()
 				q := queries[i]
 				tp := tailPools[q.R]
 				buf = growF64(buf, len(tp))
@@ -320,13 +396,13 @@ func runPerQuery(m kgc.Model, p *plan, opts Options, progressTotal int, done, sc
 				buf = growF64(buf, len(hp))
 				ranks[2*i+1] = rankHead(m, opts.Filter, q, hp, buf)
 				local += int64(len(hp))
+				localNS += int64(time.Since(t0))
 
 				d := done.Add(1)
 				if opts.Progress != nil {
 					opts.Progress(int(d), progressTotal)
 				}
 			}
-			scored.Add(local)
 		}(lo, hi)
 	}
 	wg.Wait()

@@ -1,0 +1,105 @@
+package eval
+
+import (
+	"sync"
+	"testing"
+
+	"kgeval/internal/kg"
+	"kgeval/internal/kgc"
+)
+
+// TestStageTimingsPopulated checks that a pass reports a non-trivial stage
+// breakdown: pool draws and scoring always happen, and the stage sums are
+// consistent with having done the work at all.
+func TestStageTimingsPopulated(t *testing.T) {
+	g := evalGraph(t)
+	filter := kg.NewFilterIndex(g.Train, g.Valid, g.Test)
+	prov := &RandomProvider{NumEntities: g.NumEntities, N: 20}
+	res := Evaluate(formulaModel{}, g, g.Test, prov, Options{Filter: filter, Seed: 3, Workers: 2})
+
+	st := res.Stages
+	if st.PoolDraw <= 0 {
+		t.Fatalf("PoolDraw = %v, want > 0 (2·|R| draws happened)", st.PoolDraw)
+	}
+	if st.Score <= 0 {
+		t.Fatalf("Score = %v, want > 0", st.Score)
+	}
+	if st.RankMerge <= 0 {
+		t.Fatalf("RankMerge = %v, want > 0", st.RankMerge)
+	}
+	if st.PlanCompile < 0 {
+		t.Fatalf("PlanCompile = %v, want >= 0", st.PlanCompile)
+	}
+	// Serial stages are wall-clock components of Elapsed.
+	if st.PlanCompile+st.PoolDraw > res.Elapsed {
+		t.Fatalf("setup stages (%v + %v) exceed Elapsed %v", st.PlanCompile, st.PoolDraw, res.Elapsed)
+	}
+}
+
+// TestStageTimingsSharedAcrossMany checks that EvaluateMany attributes the
+// one-time plan cost identically to every model while scoring time is per
+// model.
+func TestStageTimingsSharedAcrossMany(t *testing.T) {
+	g := evalGraph(t)
+	filter := kg.NewFilterIndex(g.Train, g.Valid, g.Test)
+	prov := &RandomProvider{NumEntities: g.NumEntities, N: 20}
+	results := EvaluateMany([]kgc.Model{formulaModel{}, formulaModel{}}, g, g.Test, prov,
+		Options{Filter: filter, Seed: 3, Workers: 2})
+	if len(results) != 2 {
+		t.Fatalf("got %d results", len(results))
+	}
+	a, b := results[0].Stages, results[1].Stages
+	if a.PlanCompile != b.PlanCompile || a.PoolDraw != b.PoolDraw {
+		t.Fatalf("shared plan stages differ across models: %+v vs %+v", a, b)
+	}
+	for i, r := range results {
+		if r.Stages.Score <= 0 {
+			t.Fatalf("model %d: Score = %v, want > 0", i, r.Stages.Score)
+		}
+	}
+}
+
+// TestParallelEvalHammersCounters runs several concurrent multi-worker
+// passes and checks the process-wide obs counters advanced by exactly the
+// work performed — the race-mode guarantee that per-worker atomic counting
+// loses nothing. Run under -race in CI.
+func TestParallelEvalHammersCounters(t *testing.T) {
+	g := evalGraph(t)
+	filter := kg.NewFilterIndex(g.Train, g.Valid, g.Test)
+	prov := &RandomProvider{NumEntities: g.NumEntities, N: 15}
+
+	passesBefore := passesTotal.Value()
+	queriesBefore := queriesTotal.Value()
+	candidatesBefore := candidatesTotal.Value()
+
+	const passes = 8
+	var wg sync.WaitGroup
+	results := make([]Result, passes)
+	for i := 0; i < passes; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = Evaluate(formulaModel{}, g, g.Test, prov,
+				Options{Filter: filter, Seed: int64(i), Workers: 4})
+		}(i)
+	}
+	wg.Wait()
+
+	var wantQueries, wantCandidates int64
+	for _, r := range results {
+		wantQueries += int64(r.Queries)
+		wantCandidates += r.CandidatesScored
+	}
+	if got := passesTotal.Value() - passesBefore; got != passes {
+		t.Fatalf("passes counter advanced by %d, want %d", got, passes)
+	}
+	if got := queriesTotal.Value() - queriesBefore; got != wantQueries {
+		t.Fatalf("queries counter advanced by %d, want %d", got, wantQueries)
+	}
+	if got := candidatesTotal.Value() - candidatesBefore; got != wantCandidates {
+		t.Fatalf("candidates counter advanced by %d, want %d", got, wantCandidates)
+	}
+	if snap := stageScore.Snapshot(); snap.Count < passes {
+		t.Fatalf("score stage histogram has %d observations, want >= %d", snap.Count, passes)
+	}
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes every metric family of the given registries in
+// the Prometheus text exposition format (version 0.0.4). Families are
+// emitted in name order with series sorted by label signature, so output
+// is deterministic for a fixed metric state. When several registries
+// define the same family name, their series are merged under one family
+// header (the first registry's help/kind wins); duplicate registry
+// pointers are collected once.
+func WritePrometheus(w io.Writer, regs ...*Registry) error {
+	type mergedFamily struct {
+		*family
+		series []*series
+	}
+	merged := map[string]*mergedFamily{}
+	seen := map[*Registry]bool{}
+	var names []string
+	for _, r := range regs {
+		if r == nil || seen[r] {
+			continue
+		}
+		seen[r] = true
+		r.mu.Lock()
+		for name, f := range r.families {
+			mf, ok := merged[name]
+			if !ok {
+				mf = &mergedFamily{family: f}
+				merged[name] = mf
+				names = append(names, name)
+			}
+			for _, s := range f.series {
+				mf.series = append(mf.series, s)
+			}
+		}
+		r.mu.Unlock()
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		mf := merged[name]
+		sort.Slice(mf.series, func(i, j int) bool {
+			return labelString(mf.series[i].labels) < labelString(mf.series[j].labels)
+		})
+		if mf.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(mf.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, mf.kind); err != nil {
+			return err
+		}
+		for _, s := range mf.series {
+			if err := writeSeries(w, name, mf.kind, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, name string, k kind, s *series) error {
+	switch k {
+	case kindCounter:
+		v := s.c.Value()
+		if s.cf != nil {
+			v = s.cf()
+		}
+		_, err := fmt.Fprintf(w, "%s%s %d\n", name, labelString(s.labels), v)
+		return err
+	case kindGauge:
+		v := s.g.Value()
+		if s.gf != nil {
+			v = s.gf()
+		}
+		_, err := fmt.Fprintf(w, "%s%s %s\n", name, labelString(s.labels), formatFloat(v))
+		return err
+	case kindHistogram:
+		snap := s.h.Snapshot()
+		cum := int64(0)
+		for i, b := range snap.Bounds {
+			cum += snap.Counts[i]
+			le := append(append([]Label(nil), s.labels...), Label{"le", formatFloat(b)})
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, labelString(le), cum); err != nil {
+				return err
+			}
+		}
+		inf := append(append([]Label(nil), s.labels...), Label{"le", "+Inf"})
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, labelString(inf), snap.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, labelString(s.labels), formatFloat(snap.Sum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labelString(s.labels), snap.Count)
+		return err
+	}
+	return nil
+}
+
+// labelString renders {k="v",...} with keys in their canonical (sorted)
+// order, or "" for an unlabeled series.
+func labelString(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func escapeHelp(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler serves the registries' metrics over HTTP — the GET /metrics
+// endpoint. Multiple registries (a server's own plus Default, where
+// library packages register) are merged into one exposition.
+func Handler(regs ...*Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w, regs...) //nolint:errcheck // client went away; nothing to do
+	})
+}

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the full exposition format: family
+// ordering, HELP/TYPE lines, label rendering and escaping, cumulative
+// histogram buckets with +Inf, _sum and _count.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("kg_requests_total", "Requests served.", Label{"method", "POST"}).Add(3)
+	r.Counter("kg_requests_total", "Requests served.", Label{"method", "GET"}).Add(7)
+	r.Gauge("kg_queue_depth", "Jobs waiting.").Set(2)
+	r.GaugeFunc("kg_workers", "Configured workers.", func() float64 { return 4 })
+	h := r.Histogram("kg_latency_seconds", "Job latency.", []float64{0.1, 1}, Label{"state", `a"b\c`})
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(30)
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP kg_latency_seconds Job latency.
+# TYPE kg_latency_seconds histogram
+kg_latency_seconds_bucket{state="a\"b\\c",le="0.1"} 2
+kg_latency_seconds_bucket{state="a\"b\\c",le="1"} 3
+kg_latency_seconds_bucket{state="a\"b\\c",le="+Inf"} 4
+kg_latency_seconds_sum{state="a\"b\\c"} 30.6
+kg_latency_seconds_count{state="a\"b\\c"} 4
+# HELP kg_queue_depth Jobs waiting.
+# TYPE kg_queue_depth gauge
+kg_queue_depth 2
+# HELP kg_requests_total Requests served.
+# TYPE kg_requests_total counter
+kg_requests_total{method="GET"} 7
+kg_requests_total{method="POST"} 3
+# HELP kg_workers Configured workers.
+# TYPE kg_workers gauge
+kg_workers 4
+`
+	if got := b.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestWritePrometheusMergesRegistries checks that Handler-style multi-
+// registry exposition merges families, dedupes repeated registries, and
+// never emits a family twice.
+func TestWritePrometheusMergesRegistries(t *testing.T) {
+	a := NewRegistry()
+	b := NewRegistry()
+	a.Counter("shared_total", "Shared.", Label{"src", "a"}).Inc()
+	b.Counter("shared_total", "Shared.", Label{"src", "b"}).Add(2)
+	a.Gauge("only_a", "").Set(1)
+
+	var out strings.Builder
+	if err := WritePrometheus(&out, a, b, a, nil); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if strings.Count(got, "# TYPE shared_total counter") != 1 {
+		t.Fatalf("family header duplicated:\n%s", got)
+	}
+	for _, line := range []string{
+		`shared_total{src="a"} 1`,
+		`shared_total{src="b"} 2`,
+		"only_a 1",
+	} {
+		if !strings.Contains(got, line) {
+			t.Fatalf("missing %q in:\n%s", line, got)
+		}
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("h_total", "").Inc()
+	rec := httptest.NewRecorder()
+	Handler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "h_total 1") {
+		t.Fatalf("body = %q", rec.Body.String())
+	}
+}

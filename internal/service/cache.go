@@ -3,6 +3,7 @@ package service
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 
 	"kgeval/internal/core"
 )
@@ -31,12 +32,17 @@ type cacheEntry struct {
 // the Fit cost is shared). Failed builds are evicted so later requests
 // retry.
 type FrameworkCache struct {
-	mu      sync.Mutex
-	cap     int
-	ll      *list.List // *cacheEntry; front = most recently used
-	entries map[CacheKey]*list.Element
-	hits    int64
-	misses  int64
+	mu           sync.Mutex
+	cap          int
+	ll           *list.List // *cacheEntry; front = most recently used
+	entries      map[CacheKey]*list.Element
+	hits         int64
+	misses       int64
+	evictions    int64
+	singleFlight int64
+	// inflight counts builds currently running; decremented outside the
+	// lock when a build finishes, hence atomic.
+	inflight atomic.Int64
 }
 
 // NewFrameworkCache creates a cache holding at most capacity fitted
@@ -59,8 +65,15 @@ func (c *FrameworkCache) Get(key CacheKey, build func() (*core.Framework, error)
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.hits++
-		c.ll.MoveToFront(el)
 		e := el.Value.(*cacheEntry)
+		select {
+		case <-e.ready:
+		default:
+			// Joining a build still in flight: this caller's Fit was
+			// deduplicated, the single-flight win the cache exists for.
+			c.singleFlight++
+		}
+		c.ll.MoveToFront(el)
 		c.mu.Unlock()
 		<-e.ready
 		return e.fw, true, e.err
@@ -73,11 +86,14 @@ func (c *FrameworkCache) Get(key CacheKey, build func() (*core.Framework, error)
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions++
 	}
+	c.inflight.Add(1)
 	c.mu.Unlock()
 
 	e.fw, e.err = build()
 	close(e.ready)
+	c.inflight.Add(-1)
 	if e.err != nil {
 		c.remove(key, el)
 	}
@@ -95,17 +111,30 @@ func (c *FrameworkCache) remove(key CacheKey, el *list.Element) {
 	c.mu.Unlock()
 }
 
-// CacheStats reports cumulative cache traffic.
+// CacheStats reports cumulative cache traffic and current occupancy.
+// Hits counts every Get served by an existing entry; SingleFlight is the
+// subset of hits that joined a build still in flight (a deduplicated Fit).
 type CacheStats struct {
-	Hits   int64 `json:"hits"`
-	Misses int64 `json:"misses"`
-	Size   int   `json:"size"`
-	Cap    int   `json:"cap"`
+	Hits         int64 `json:"hits"`
+	Misses       int64 `json:"misses"`
+	Evictions    int64 `json:"evictions"`
+	SingleFlight int64 `json:"singleflight"`
+	InFlight     int64 `json:"inflight"`
+	Size         int   `json:"size"`
+	Cap          int   `json:"cap"`
 }
 
-// Stats snapshots hit/miss counters and occupancy.
+// Stats snapshots hit/miss/eviction counters and occupancy.
 func (c *FrameworkCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Size: c.ll.Len(), Cap: c.cap}
+	return CacheStats{
+		Hits:         c.hits,
+		Misses:       c.misses,
+		Evictions:    c.evictions,
+		SingleFlight: c.singleFlight,
+		InFlight:     c.inflight.Load(),
+		Size:         c.ll.Len(),
+		Cap:          c.cap,
+	}
 }

@@ -62,6 +62,14 @@ func TestCacheSingleFlight(t *testing.T) {
 	if st.Hits != callers-1 || st.Misses != 1 || st.Size != 1 {
 		t.Fatalf("stats = %+v", st)
 	}
+	// Every waiter joined the one in-flight build: all hits were
+	// single-flight dedups, and no build is still running.
+	if st.SingleFlight != callers-1 {
+		t.Fatalf("singleflight = %d, want %d", st.SingleFlight, callers-1)
+	}
+	if st.InFlight != 0 {
+		t.Fatalf("inflight = %d after all builds finished, want 0", st.InFlight)
+	}
 }
 
 func TestCacheLRUEviction(t *testing.T) {
@@ -85,6 +93,14 @@ func TestCacheLRUEviction(t *testing.T) {
 	st := c.Stats()
 	if st.Hits != 2 || st.Misses != 4 || st.Size != 2 {
 		t.Fatalf("stats = %+v", st)
+	}
+	// Two entries fell to LRU pressure: b (pushed out by c) and c (pushed
+	// out by b's return). Completed sequential builds never overlap.
+	if st.Evictions != 2 {
+		t.Fatalf("evictions = %d, want 2", st.Evictions)
+	}
+	if st.SingleFlight != 0 || st.InFlight != 0 {
+		t.Fatalf("sequential gets reported singleflight=%d inflight=%d, want 0/0", st.SingleFlight, st.InFlight)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"kgeval/internal/eval"
 	"kgeval/internal/kg"
 	"kgeval/internal/kgc"
+	"kgeval/internal/obs"
 	"kgeval/internal/recommender"
 )
 
@@ -37,6 +38,10 @@ type EngineConfig struct {
 	// RetainJobs bounds the job index: once exceeded, the oldest terminal
 	// jobs are evicted on submission (default 4096).
 	RetainJobs int
+	// Metrics is the registry the engine's instruments register in. When
+	// nil the engine creates a private registry, so several engines in one
+	// process never share counters; read it back via Engine.Metrics().
+	Metrics *obs.Registry
 }
 
 // ErrQueueFull is returned by Submit when the job queue is saturated.
@@ -54,9 +59,11 @@ type Engine struct {
 	filter *kg.FilterIndex
 	cache  *FrameworkCache
 
-	queue chan *Job
-	quit  chan struct{}
-	wg    sync.WaitGroup
+	queue   chan *Job
+	quit    chan struct{}
+	wg      sync.WaitGroup
+	reg     *obs.Registry
+	metrics *engineMetrics
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -95,6 +102,9 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	if cfg.RetainJobs <= 0 {
 		cfg.RetainJobs = 4096
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
 	e := &Engine{
 		cfg:    cfg,
 		graph:  cfg.Graph,
@@ -104,7 +114,9 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		queue:  make(chan *Job, cfg.QueueDepth),
 		quit:   make(chan struct{}),
 		jobs:   map[string]*Job{},
+		reg:    cfg.Metrics,
 	}
+	e.metrics = newEngineMetrics(e.reg, e)
 	for i := 0; i < cfg.Workers; i++ {
 		e.wg.Add(1)
 		go e.worker()
@@ -118,30 +130,39 @@ func (e *Engine) Graph() *kg.Graph { return e.graph }
 // Fingerprint returns the host graph's content fingerprint.
 func (e *Engine) Fingerprint() string { return e.fp }
 
+// Metrics returns the registry holding the engine's instruments — mount
+// it (together with obs.Default) on a /metrics endpoint.
+func (e *Engine) Metrics() *obs.Registry { return e.reg }
+
 // Submit validates the spec, registers a job and enqueues it. The job is
 // returned in state queued (or, under races, already beyond it).
 func (e *Engine) Submit(spec JobSpec) (*Job, error) {
 	spec = e.withDefaults(spec)
 	if err := e.validate(spec); err != nil {
+		e.metrics.jobsRejected.Inc()
 		return nil, err
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
+		e.metrics.jobsRejected.Inc()
 		return nil, ErrClosed
 	}
 	e.nextID++
 	j := newJob(fmt.Sprintf("j%06d", e.nextID), spec)
+	j.metrics = e.metrics
 	// Registration and the non-blocking enqueue stay in one critical
 	// section so a queue-full rejection never rolls back another
 	// goroutine's registration.
 	select {
 	case e.queue <- j:
 	default:
+		e.metrics.jobsRejected.Inc()
 		return nil, ErrQueueFull
 	}
 	e.jobs[j.ID] = j
 	e.order = append(e.order, j)
+	e.metrics.jobsSubmitted.Inc()
 	e.pruneLocked()
 	return j, nil
 }
@@ -297,6 +318,7 @@ func (e *Engine) run(j *Job) {
 	if !j.transition(StateRunning, nil) {
 		return // cancelled while queued
 	}
+	defer e.metrics.workerBusy()()
 	// A panic in evaluation (a malformed snapshot driving a model into an
 	// impossible state) must fail the one job, not kill the worker pool.
 	defer func() {

@@ -108,6 +108,10 @@ type Job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	// metrics, when set (jobs born in an engine), receives state-transition
+	// latency observations; nil-safe otherwise.
+	metrics *engineMetrics
+
 	mu       sync.Mutex
 	state    State
 	progress Progress
@@ -155,6 +159,7 @@ func (j *Job) transition(next State, onApply func()) bool {
 	if onApply != nil {
 		onApply()
 	}
+	j.metrics.observeTransition(next, j)
 	j.publishLocked(Event{Type: "state", State: next})
 	if next.Terminal() {
 		for ch := range j.subs {
@@ -296,22 +301,27 @@ func resultStatus(r eval.Result) ResultStatus {
 // Models and, once succeeded, Results (one entry per model, in submission
 // order).
 type Status struct {
-	ID          string        `json:"id"`
-	State       State         `json:"state"`
-	Model       string        `json:"model,omitempty"`
-	Models      []string      `json:"models,omitempty"`
-	Split       string        `json:"split"`
-	Strategy    string        `json:"strategy"`
-	Recommender string        `json:"recommender,omitempty"`
-	NumSamples  int           `json:"num_samples,omitempty"`
-	CacheHit    bool          `json:"cache_hit"`
-	Progress    Progress      `json:"progress"`
-	Result      *ResultStatus `json:"result,omitempty"`
-	Results     []ModelResult `json:"results,omitempty"`
-	Error       string        `json:"error,omitempty"`
-	CreatedAt   time.Time     `json:"created_at"`
-	StartedAt   *time.Time    `json:"started_at,omitempty"`
-	FinishedAt  *time.Time    `json:"finished_at,omitempty"`
+	ID          string   `json:"id"`
+	State       State    `json:"state"`
+	Model       string   `json:"model,omitempty"`
+	Models      []string `json:"models,omitempty"`
+	Split       string   `json:"split"`
+	Strategy    string   `json:"strategy"`
+	Recommender string   `json:"recommender,omitempty"`
+	NumSamples  int      `json:"num_samples,omitempty"`
+	CacheHit    bool     `json:"cache_hit"`
+	Progress    Progress `json:"progress"`
+	// ThroughputTPS and ETAMS enrich progress snapshots of running jobs:
+	// evaluated triples per second since the job started, and the linear
+	// extrapolation of the time remaining. Zero until the first progress.
+	ThroughputTPS float64       `json:"throughput_tps,omitempty"`
+	ETAMS         float64       `json:"eta_ms,omitempty"`
+	Result        *ResultStatus `json:"result,omitempty"`
+	Results       []ModelResult `json:"results,omitempty"`
+	Error         string        `json:"error,omitempty"`
+	CreatedAt     time.Time     `json:"created_at"`
+	StartedAt     *time.Time    `json:"started_at,omitempty"`
+	FinishedAt    *time.Time    `json:"finished_at,omitempty"`
 }
 
 // Status snapshots the job.
@@ -337,6 +347,12 @@ func (j *Job) Status() Status {
 	if !j.started.IsZero() {
 		t := j.started
 		st.StartedAt = &t
+	}
+	if j.state == StateRunning && j.progress.Done > 0 {
+		if elapsed := time.Since(j.started).Seconds(); elapsed > 0 {
+			st.ThroughputTPS = float64(j.progress.Done) / elapsed
+			st.ETAMS = float64(j.progress.Total-j.progress.Done) / st.ThroughputTPS * 1000
+		}
 	}
 	if !j.finished.IsZero() {
 		t := j.finished

@@ -1,0 +1,90 @@
+package service
+
+import (
+	"kgeval/internal/obs"
+)
+
+// engineMetrics holds the engine's instruments. Each engine registers in
+// its own Registry (EngineConfig.Metrics, a fresh one by default), so
+// multiple engines in one process — the test suite, or a future
+// multi-graph daemon — never share counters; obs.Handler merges the
+// engine registry with obs.Default (where internal/eval registers) for
+// one /metrics exposition. All methods are nil-receiver safe so jobs
+// created outside an engine (unit tests) observe nothing.
+type engineMetrics struct {
+	jobsSubmitted *obs.Counter
+	jobsRejected  *obs.Counter
+	jobsDone      map[State]*obs.Counter
+	queueWait     *obs.Histogram
+	runSeconds    map[State]*obs.Histogram
+	busyWorkers   *obs.Gauge
+}
+
+func newEngineMetrics(reg *obs.Registry, e *Engine) *engineMetrics {
+	m := &engineMetrics{
+		jobsSubmitted: reg.Counter("kgeval_jobs_submitted_total", "Jobs accepted by Submit."),
+		jobsRejected:  reg.Counter("kgeval_jobs_rejected_total", "Jobs rejected at submission (validation failure, queue full, engine closed)."),
+		jobsDone:      map[State]*obs.Counter{},
+		queueWait: reg.Histogram("kgeval_job_queue_wait_seconds",
+			"Time jobs spend queued before a worker picks them up.", obs.DurationBuckets),
+		runSeconds:  map[State]*obs.Histogram{},
+		busyWorkers: reg.Gauge("kgeval_workers_busy", "Workers currently executing a job."),
+	}
+	for _, st := range []State{StateSucceeded, StateFailed, StateCanceled} {
+		l := obs.Label{Key: "state", Value: string(st)}
+		m.jobsDone[st] = reg.Counter("kgeval_jobs_completed_total", "Jobs finished, by terminal state.", l)
+		m.runSeconds[st] = reg.Histogram("kgeval_job_run_seconds",
+			"Time from a worker picking a job up to its terminal state.", obs.DurationBuckets, l)
+	}
+
+	reg.GaugeFunc("kgeval_job_queue_depth", "Jobs waiting for a worker.",
+		func() float64 { return float64(len(e.queue)) })
+	reg.GaugeFunc("kgeval_job_queue_capacity", "Capacity of the job queue.",
+		func() float64 { return float64(cap(e.queue)) })
+	reg.GaugeFunc("kgeval_workers", "Configured worker count.",
+		func() float64 { return float64(e.cfg.Workers) })
+
+	cacheStat := func(f func(CacheStats) int64) func() int64 {
+		return func() int64 { return f(e.cache.Stats()) }
+	}
+	reg.CounterFunc("kgeval_cache_hits_total", "Framework cache hits (including single-flight joins).",
+		cacheStat(func(s CacheStats) int64 { return s.Hits }))
+	reg.CounterFunc("kgeval_cache_misses_total", "Framework cache misses (each triggers one Fit).",
+		cacheStat(func(s CacheStats) int64 { return s.Misses }))
+	reg.CounterFunc("kgeval_cache_evictions_total", "Fitted frameworks evicted by LRU pressure.",
+		cacheStat(func(s CacheStats) int64 { return s.Evictions }))
+	reg.CounterFunc("kgeval_cache_singleflight_total", "Hits that joined a Fit still in flight (deduplicated builds).",
+		cacheStat(func(s CacheStats) int64 { return s.SingleFlight }))
+	reg.GaugeFunc("kgeval_cache_inflight", "Framework builds currently running.",
+		func() float64 { return float64(e.cache.Stats().InFlight) })
+	reg.GaugeFunc("kgeval_cache_size", "Fitted frameworks resident in the cache.",
+		func() float64 { return float64(e.cache.Stats().Size) })
+	return m
+}
+
+// observeTransition records per-state latency when a job changes state:
+// queued→running observes the queue wait; any terminal transition counts
+// the outcome and, if the job ever ran, its run time.
+func (m *engineMetrics) observeTransition(next State, j *Job) {
+	if m == nil {
+		return
+	}
+	switch {
+	case next == StateRunning:
+		m.queueWait.Observe(j.started.Sub(j.created).Seconds())
+	case next.Terminal():
+		m.jobsDone[next].Inc()
+		if !j.started.IsZero() {
+			m.runSeconds[next].Observe(j.finished.Sub(j.started).Seconds())
+		}
+	}
+}
+
+// workerBusy brackets one job execution for the utilization gauge.
+func (m *engineMetrics) workerBusy() func() {
+	if m == nil {
+		return func() {}
+	}
+	m.busyWorkers.Add(1)
+	return func() { m.busyWorkers.Add(-1) }
+}

@@ -5,6 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
+
+	"kgeval/internal/obs"
 )
 
 // NewServer wraps an Engine in the kgevald HTTP/JSON API:
@@ -16,6 +19,7 @@ import (
 //	POST   /v1/jobs/{id}/cancel  cancel a queued or running job
 //	DELETE /v1/jobs/{id}         same as cancel
 //	GET    /v1/stats             engine + cache counters
+//	GET    /metrics              Prometheus text exposition (engine + eval)
 //	GET    /healthz              liveness + host graph summary
 //
 // The handler is safe for concurrent use; all state lives in the Engine.
@@ -24,6 +28,9 @@ func NewServer(e *Engine) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	// The engine's registry carries job/queue/cache instruments; obs.Default
+	// carries the eval-layer stage histograms and throughput counters.
+	mux.Handle("GET /metrics", obs.Handler(e.Metrics(), obs.Default))
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
@@ -133,6 +140,11 @@ func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
+// sseKeepalive is the idle interval after which the stream emits a `: ping`
+// comment so proxies and load balancers don't reap a connection whose job
+// is queued behind a long-running fleet. A variable so tests can shrink it.
+var sseKeepalive = 15 * time.Second
+
 // handleStream serves a job's progress as Server-Sent Events. Each event is
 // one of:
 //
@@ -141,7 +153,9 @@ func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
 //	event: done      data: {Status}   terminal snapshot, then the stream ends
 //
 // The first event is always a snapshot of the current state, so late
-// subscribers start consistent.
+// subscribers start consistent. Running-job progress events carry
+// throughput (triples/sec) and an ETA extrapolated from it. Idle gaps are
+// bridged with `: ping` keepalive comments every sseKeepalive.
 func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.job(w, r)
 	if !ok {
@@ -175,10 +189,17 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 	if !send("state") {
 		return
 	}
+	keepalive := time.NewTicker(sseKeepalive)
+	defer keepalive.Stop()
 	for {
 		select {
 		case <-r.Context().Done():
 			return
+		case <-keepalive.C:
+			if _, err := fmt.Fprint(w, ": ping\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
 		case ev, ok := <-ch:
 			if !ok {
 				send("done") // terminal snapshot closes the stream

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -448,5 +449,111 @@ func TestEngineQueueFull(t *testing.T) {
 	}
 	if got := fmt.Sprint(ErrQueueFull); !strings.Contains(got, "queue full") {
 		t.Fatalf("ErrQueueFull text = %q", got)
+	}
+}
+
+// TestServerMetricsEndpoint is the observability acceptance test: after a
+// cache-missing job and a cache-hitting job complete, GET /metrics serves
+// Prometheus text format carrying the eval stage histograms, the job
+// latency histograms, and the cache hit/miss counters.
+func TestServerMetricsEndpoint(t *testing.T) {
+	srv, engine := newTestServer(t, EngineConfig{Workers: 2})
+	g := engine.Graph()
+
+	for i, name := range []string{"ComplEx", "DistMult"} {
+		st := submitJob(t, srv.URL, JobSpec{
+			Model:    ModelSpec{Name: name, Dim: 16, Seed: int64(3 + i), Snapshot: snapshotModel(t, g, name, 16, int64(3+i))},
+			Strategy: "P", MaxQueries: 50,
+		})
+		if final := waitTerminal(t, srv.URL, st.ID); final.State != StateSucceeded {
+			t.Fatalf("job %s: %s (%s)", st.ID, final.State, final.Error)
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+
+	// Eval stage histograms (obs.Default, populated by the jobs above).
+	for _, stage := range []string{"plan_compile", "pool_draw", "score", "rank_merge"} {
+		if !strings.Contains(body, `kgeval_eval_stage_seconds_bucket{stage="`+stage+`"`) {
+			t.Errorf("missing eval stage histogram for %q", stage)
+		}
+	}
+	// Engine-side instruments.
+	for _, want := range []string{
+		"# TYPE kgeval_job_run_seconds histogram",
+		`kgeval_job_run_seconds_count{state="succeeded"} 2`,
+		"# TYPE kgeval_job_queue_wait_seconds histogram",
+		"kgeval_jobs_submitted_total 2",
+		`kgeval_jobs_completed_total{state="succeeded"} 2`,
+		"kgeval_cache_hits_total 1",
+		"kgeval_cache_misses_total 1",
+		"kgeval_cache_evictions_total 0",
+		"kgeval_job_queue_depth 0",
+		"kgeval_workers 2",
+		"kgeval_workers_busy 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("full exposition:\n%s", body)
+	}
+}
+
+// TestServerSSEKeepalive shrinks the keepalive interval and checks that a
+// stream over a job stuck in the queue carries `: ping` comments, so idle
+// long jobs survive proxies that reap quiet connections.
+func TestServerSSEKeepalive(t *testing.T) {
+	old := sseKeepalive
+	sseKeepalive = 10 * time.Millisecond
+	defer func() { sseKeepalive = old }()
+
+	// One worker occupied by a slow full-protocol job keeps the target job
+	// queued — and its stream silent — while we listen for pings.
+	srv, engine := newTestServer(t, EngineConfig{Workers: 1, EvalWorkers: 1})
+	g := engine.Graph()
+	submitJob(t, srv.URL, JobSpec{
+		Model:    ModelSpec{Name: "ComplEx", Dim: 256, Seed: 5, Snapshot: snapshotModel(t, g, "ComplEx", 256, 5)},
+		Strategy: "full",
+	})
+	target := submitJob(t, srv.URL, JobSpec{
+		Model:    ModelSpec{Name: "DistMult", Dim: 8, Seed: 6, Snapshot: snapshotModel(t, g, "DistMult", 8, 6)},
+		Strategy: "P", MaxQueries: 10,
+	})
+
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + target.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	pings := 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == ": ping" {
+			pings++
+		}
+		if strings.HasPrefix(line, "event: done") || pings >= 3 {
+			break
+		}
+	}
+	if pings == 0 {
+		t.Fatal("stream over an idle queued job carried no keepalive pings")
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"kgeval/internal/experiments"
 	"kgeval/internal/kg"
 	"kgeval/internal/kgc"
+	"kgeval/internal/kgc/store"
 	"kgeval/internal/kp"
 	"kgeval/internal/recommender"
 	"kgeval/internal/synth"
@@ -120,7 +121,21 @@ func benchEstimate(b *testing.B, s core.Strategy) {
 type batchBenchEnv struct {
 	g      *kg.Graph
 	filter *kg.FilterIndex
-	models map[string]kgc.Model
+	models map[string]kgc.Model // keyed "Name/dimN"
+}
+
+// batchBenchModels are the model/dim points the batch-path benchmarks cover:
+// every architecture, with the deep models (TuckER, ConvE) at both a small
+// dim and dim 256 — the store-backed batch lane is what makes dim 256
+// tractable for them (the old per-query adapter recomputed the O(d³)/O(conv)
+// projection per candidate row).
+var batchBenchModels = []struct {
+	name string
+	dim  int
+}{
+	{"TransE", 128}, {"DistMult", 256}, {"ComplEx", 256},
+	{"RESCAL", 128}, {"RotatE", 128},
+	{"TuckER", 32}, {"TuckER", 256}, {"ConvE", 256},
 }
 
 var batchEnvCache *batchBenchEnv
@@ -148,15 +163,12 @@ func batchEnv(b *testing.B) *batchBenchEnv {
 	// Untrained models: ns/op is independent of embedding values, and
 	// random embeddings still rank honestly. The dot-product models run at
 	// dim 256 so the scoring kernel (not per-pass setup) dominates.
-	for name, dim := range map[string]int{
-		"TransE": 128, "DistMult": 256, "ComplEx": 256, "RESCAL": 128, "RotatE": 128,
-		"TuckER": 32, // adapter fallback; d³ core keeps the dim small
-	} {
-		m, err := kgc.New(name, g, dim, 23)
+	for _, mc := range batchBenchModels {
+		m, err := kgc.New(mc.name, g, mc.dim, 23)
 		if err != nil {
 			b.Fatal(err)
 		}
-		env.models[name] = m
+		env.models[fmt.Sprintf("%s/dim%d", mc.name, mc.dim)] = m
 	}
 	batchEnvCache = env
 	return env
@@ -166,14 +178,17 @@ func batchEnv(b *testing.B) *batchBenchEnv {
 // |E|, 512 query triples — ~26 queries per relation and direction, enough to
 // amortize each chunk's candidate gather) through either executor. The
 // acceptance bar for the relation-grouped plan is ≥2× fewer ns/op than
-// per-query for DistMult and ComplEx at dim ≥ 128.
+// per-query for DistMult and ComplEx at dim ≥ 128, and ≥1.5× for TuckER and
+// ConvE at dim 256 (the universal batch lane).
 func benchEvalPath(b *testing.B, perQuery bool) {
 	e := batchEnv(b)
-	for _, name := range []string{"TransE", "DistMult", "ComplEx", "RESCAL", "RotatE", "TuckER"} {
-		m := e.models[name]
-		b.Run(fmt.Sprintf("%s/dim%d", name, m.Dim()), func(b *testing.B) {
+	for _, mc := range batchBenchModels {
+		key := fmt.Sprintf("%s/dim%d", mc.name, mc.dim)
+		m := e.models[key]
+		b.Run(key, func(b *testing.B) {
 			prov := &eval.RandomProvider{NumEntities: e.g.NumEntities, N: e.g.NumEntities / 10}
 			opts := eval.Options{Filter: e.filter, Seed: 1, MaxQueries: 512, PerQuery: perQuery}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				eval.Evaluate(m, e.g, e.g.Test, prov, opts)
@@ -189,11 +204,30 @@ func BenchmarkEvaluateBatch(b *testing.B) { benchEvalPath(b, false) }
 // over identical pools — the baseline the batch plan is judged against.
 func BenchmarkEvaluatePerQuery(b *testing.B) { benchEvalPath(b, true) }
 
+// BenchmarkEvaluateBatchPrecision measures the precision knob on the batch
+// executor: one dot-product model at dim 256 gathered from the float64,
+// float32 and int8 entity stores.
+func BenchmarkEvaluateBatchPrecision(b *testing.B) {
+	e := batchEnv(b)
+	m := e.models["DistMult/dim256"]
+	for _, prec := range []store.Precision{store.Float64, store.Float32, store.Int8} {
+		b.Run(fmt.Sprintf("DistMult/dim256/%s", prec), func(b *testing.B) {
+			prov := &eval.RandomProvider{NumEntities: e.g.NumEntities, N: e.g.NumEntities / 10}
+			opts := eval.Options{Filter: e.filter, Seed: 1, MaxQueries: 512, Precision: prec}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eval.Evaluate(m, e.g, e.g.Test, prov, opts)
+			}
+		})
+	}
+}
+
 // BenchmarkEstimateMany measures the shared-plan multi-model pass against
 // running the same fleet through separate Evaluate calls.
 func BenchmarkEstimateMany(b *testing.B) {
 	e := batchEnv(b)
-	fleet := []kgc.Model{e.models["DistMult"], e.models["ComplEx"], e.models["TransE"]}
+	fleet := []kgc.Model{e.models["DistMult/dim256"], e.models["ComplEx/dim256"], e.models["TransE/dim128"]}
 	prov := &eval.RandomProvider{NumEntities: e.g.NumEntities, N: e.g.NumEntities / 10}
 	opts := eval.Options{Filter: e.filter, Seed: 1, MaxQueries: 256}
 	b.Run("shared-plan", func(b *testing.B) {

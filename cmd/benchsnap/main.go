@@ -14,6 +14,7 @@
 //	benchsnap -bench 'BenchmarkEvaluateBatch' -o b.json # custom pattern
 //	benchsnap -quick -o /tmp/b.json                     # 1-iteration smoke (CI)
 //	benchsnap -check BENCH_0006.json                    # validate an existing snapshot
+//	benchsnap -check BENCH_0007.json -prev BENCH_0006.json  # + ns/op regression guard
 package main
 
 import (
@@ -36,8 +37,9 @@ const benchSchema = "kgeval-bench/v1"
 // defaultPattern covers the micro-benchmarks that track the hot paths
 // without pulling in the multi-minute paper-table reproductions.
 const defaultPattern = "^(BenchmarkFullEvaluation|BenchmarkEstimateRandom|BenchmarkEstimateStatic|" +
-	"BenchmarkEstimateProbabilistic|BenchmarkEvaluateBatch|BenchmarkEvaluatePerQuery|" +
-	"BenchmarkEstimateMany|BenchmarkLWDFit|BenchmarkBuildStatic|BenchmarkKPScore)$"
+	"BenchmarkEstimateProbabilistic|BenchmarkEvaluateBatch|BenchmarkEvaluateBatchPrecision|" +
+	"BenchmarkEvaluatePerQuery|BenchmarkEstimateMany|BenchmarkLWDFit|BenchmarkBuildStatic|" +
+	"BenchmarkKPScore)$"
 
 // Snapshot is the committed artifact. Field names are part of the schema:
 // additions are fine, renames/removals require a schema bump.
@@ -74,14 +76,26 @@ func main() {
 		benchtime = flag.String("benchtime", "1s", "go test -benchtime value")
 		quick     = flag.Bool("quick", false, "single-iteration smoke run (-benchtime 1x); for CI schema checks")
 		check     = flag.String("check", "", "validate an existing snapshot file and exit")
+		prev      = flag.String("prev", "", "with -check: previous snapshot to guard ns/op regressions against")
+		tolerance = flag.Float64("tolerance", 0.30, "with -prev: allowed fractional ns/op growth before failing")
 		pr        = flag.Int("pr", 0, "PR number recorded in the snapshot")
 	)
 	flag.Parse()
 
+	if *prev != "" && *check == "" {
+		fmt.Fprintln(os.Stderr, "benchsnap: -prev requires -check")
+		os.Exit(2)
+	}
 	if *check != "" {
 		if err := checkSnapshot(*check); err != nil {
 			fmt.Fprintf(os.Stderr, "benchsnap: %s: %v\n", *check, err)
 			os.Exit(1)
+		}
+		if *prev != "" {
+			if err := checkRegressions(*check, *prev, *tolerance); err != nil {
+				fmt.Fprintf(os.Stderr, "benchsnap: %v\n", err)
+				os.Exit(1)
+			}
 		}
 		fmt.Printf("%s: ok\n", *check)
 		return
@@ -116,7 +130,10 @@ func main() {
 
 // run executes the benchmarks and assembles the snapshot.
 func run(pattern, benchtime string, pr int) (*Snapshot, error) {
-	args := []string{"test", "-run", "^$", "-bench", pattern, "-benchtime", benchtime, "-benchmem", "-count", "1", "."}
+	// -timeout covers the whole binary run: the per-query baselines of the
+	// deep models are minutes-per-op by design, which overruns go test's
+	// default 10m on slow machines.
+	args := []string{"test", "-run", "^$", "-bench", pattern, "-benchtime", benchtime, "-benchmem", "-count", "1", "-timeout", "60m", "."}
 	fmt.Fprintf(os.Stderr, "benchsnap: go %s\n", strings.Join(args, " "))
 	cmd := exec.Command("go", args...)
 	var buf bytes.Buffer
@@ -200,27 +217,79 @@ func gitRev() string {
 // checkSnapshot validates that a snapshot file parses and carries the
 // current schema with sane benchmark entries.
 func checkSnapshot(path string) error {
+	_, err := loadSnapshot(path)
+	return err
+}
+
+func loadSnapshot(path string) (*Snapshot, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	var s Snapshot
 	if err := json.Unmarshal(raw, &s); err != nil {
-		return fmt.Errorf("invalid JSON: %w", err)
+		return nil, fmt.Errorf("invalid JSON: %w", err)
 	}
 	if s.Schema != benchSchema {
-		return fmt.Errorf("schema %q, want %q", s.Schema, benchSchema)
+		return nil, fmt.Errorf("schema %q, want %q", s.Schema, benchSchema)
 	}
 	if len(s.Benchmarks) == 0 {
-		return fmt.Errorf("no benchmarks recorded")
+		return nil, fmt.Errorf("no benchmarks recorded")
 	}
 	for i, b := range s.Benchmarks {
 		if b.Name == "" {
-			return fmt.Errorf("benchmark %d has no name", i)
+			return nil, fmt.Errorf("benchmark %d has no name", i)
 		}
 		if b.NsPerOp <= 0 {
-			return fmt.Errorf("benchmark %s: ns_per_op = %v, want > 0", b.Name, b.NsPerOp)
+			return nil, fmt.Errorf("benchmark %s: ns_per_op = %v, want > 0", b.Name, b.NsPerOp)
 		}
+	}
+	return &s, nil
+}
+
+// guardPrefix limits the regression guard to the batch-lane benchmarks: they
+// are the PR-over-PR perf contract, while per-query fallbacks and fit micro-
+// benches exist for reference and are too machine-noise-prone to gate on.
+const guardPrefix = "BenchmarkEvaluateBatch"
+
+// checkRegressions compares the overlapping guarded benchmarks of two
+// snapshots and fails if any got slower than prev by more than tolerance
+// (fractional, e.g. 0.30 = +30% ns/op). It is regression-only: improvements
+// and benchmarks present in only one snapshot pass silently, so the guard
+// never blocks adding or retiring benchmarks.
+func checkRegressions(curPath, prevPath string, tolerance float64) error {
+	cur, err := loadSnapshot(curPath)
+	if err != nil {
+		return fmt.Errorf("%s: %w", curPath, err)
+	}
+	old, err := loadSnapshot(prevPath)
+	if err != nil {
+		return fmt.Errorf("%s: %w", prevPath, err)
+	}
+	prevNs := make(map[string]float64, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		if strings.HasPrefix(b.Name, guardPrefix) {
+			prevNs[b.Name] = b.NsPerOp
+		}
+	}
+	var regressed []string
+	compared := 0
+	for _, b := range cur.Benchmarks {
+		was, ok := prevNs[b.Name]
+		if !ok || !strings.HasPrefix(b.Name, guardPrefix) {
+			continue
+		}
+		compared++
+		if b.NsPerOp > was*(1+tolerance) {
+			regressed = append(regressed,
+				fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.0f%%, limit %+.0f%%)",
+					b.Name, was, b.NsPerOp, 100*(b.NsPerOp/was-1), 100*tolerance))
+		}
+	}
+	fmt.Printf("%s vs %s: %d benchmarks compared, %d regressed\n",
+		curPath, prevPath, compared, len(regressed))
+	if len(regressed) > 0 {
+		return fmt.Errorf("ns/op regressions vs %s:\n  %s", prevPath, strings.Join(regressed, "\n  "))
 	}
 	return nil
 }

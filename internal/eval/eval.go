@@ -35,6 +35,7 @@ import (
 
 	"kgeval/internal/kg"
 	"kgeval/internal/kgc"
+	"kgeval/internal/kgc/store"
 )
 
 // Metrics are the standard filtered ranking metrics.
@@ -81,6 +82,10 @@ type StageTimings struct {
 	Score time.Duration
 	// RankMerge covers rank counting with the known-positive merge sweep.
 	RankMerge time.Duration
+	// KernelTile is the batch-kernel candidate tile the pass selected at
+	// plan compile time (kgc.TileFor over pool size × dim × precision); 0
+	// when the pass ran the per-query executor.
+	KernelTile int
 }
 
 // Options configure an evaluation pass.
@@ -107,6 +112,14 @@ type Options struct {
 	// relation-grouped batch planner. Both executors produce bit-identical
 	// Metrics; this exists for equivalence testing and benchmarking.
 	PerQuery bool
+	// Precision selects the embedding-store precision the batch executor
+	// gathers candidate (and answer) entities at. The zero value, Float64,
+	// is the bit-exact reference; Float32 and Int8 trade a bounded metric
+	// deviation (< 1e-3 MRR on this repo's equivalence gate) for 2×/4×+
+	// smaller entity stores and less gather bandwidth. Ignored by the
+	// PerQuery executor and by models without a native batch lane, which
+	// always score at float64.
+	Precision store.Precision
 	// Ctx, when non-nil, allows cancelling an evaluation mid-pass. On
 	// cancellation Evaluate returns early with metrics computed over the
 	// queries completed so far (Result.Queries reflects the partial count).

@@ -62,6 +62,10 @@ type plan struct {
 	queries []kg.Triple
 	groups  []relGroup
 	tasks   []batchTask
+	// maxPool is the largest candidate pool over batch-mode groups, set by
+	// chunk(); together with model dim and precision it keys the kernel tile
+	// selection (kgc.TileFor).
+	maxPool int
 	// compileTime and poolTime are the plan's one-time setup costs
 	// (grouping + chunking, and the 2·|R| pool draws), recorded here so
 	// every pass over the plan can report them in Result.Stages.
@@ -131,6 +135,8 @@ func (p *plan) chunk() {
 		if b < minBatchQueries {
 			g.direct = true
 			b = maxBatchQueries
+		} else if pool > p.maxPool {
+			p.maxPool = pool
 		}
 		for lo := 0; lo < len(g.idx); lo += b {
 			hi := lo + b
@@ -184,20 +190,26 @@ func runPass(m kgc.Model, p *plan, opts Options, progressTotal int, done *atomic
 	ranks := make([]float64, 2*len(p.queries))
 	var scored atomic.Int64
 	var clock stageClock
+	var tile int
 	if opts.PerQuery {
 		runPerQuery(m, p, opts, progressTotal, done, &scored, &clock, ranks)
 	} else {
-		runBatch(kgc.AsBatchScorer(m), p, opts, progressTotal, done, &scored, &clock, ranks)
+		tile = kgc.TileFor(p.maxPool, m.Dim(), opts.Precision)
+		runBatch(m, p, opts, tile, progressTotal, done, &scored, &clock, ranks)
 	}
 	res := Result{Metrics: metricsFromRanks(ranks), CandidatesScored: scored.Load()}
 	res.Stages.Score, res.Stages.RankMerge = clock.timings()
+	res.Stages.KernelTile = tile
 	return res
 }
 
 // runBatch is the relation-grouped executor: workers pull batchTasks and
 // score whole chunks through the model's BatchScorer, reusing their entity
-// and score buffers across tasks.
-func runBatch(bs kgc.BatchScorer, p *plan, opts Options, progressTotal int, done, scored *atomic.Int64, clock *stageClock, ranks []float64) {
+// and score buffers across tasks. Each worker builds its own scorer: the
+// store-backed scorer carries per-scorer scratch (gathered block, query
+// rows) that is reused across that worker's tasks but is not safe to share
+// between goroutines.
+func runBatch(m kgc.Model, p *plan, opts Options, tile int, progressTotal int, done, scored *atomic.Int64, clock *stageClock, ranks []float64) {
 	var cancel <-chan struct{}
 	if opts.Ctx != nil {
 		cancel = opts.Ctx.Done()
@@ -212,6 +224,7 @@ func runBatch(bs kgc.BatchScorer, p *plan, opts Options, progressTotal int, done
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			bs := kgc.NewBatchScorer(m, kgc.BatchOptions{Precision: opts.Precision, Tile: tile})
 			var bufs taskBufs
 			var local int64
 			defer func() { scored.Add(local) }()

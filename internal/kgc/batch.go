@@ -24,16 +24,13 @@ type BatchScorer interface {
 	ScoreHeadsBatch(ts []int32, r int32, cands []int32, out []float64)
 }
 
-// AsBatchScorer returns m's native batch implementation when it has one, or
-// wraps m in a per-query fallback adapter. The adapter keeps models without
-// a gatherable embedding table (TuckER's core contraction, ConvE's conv
-// stack) and externally supplied Models working unchanged under the
-// relation-grouped evaluation plan.
+// AsBatchScorer returns a batch lane for m at the reference float64
+// precision and default tile: a store-backed scorer for the native models,
+// m itself if it already implements BatchScorer, or a per-query fallback
+// adapter for externally supplied Models. See NewBatchScorer for the
+// precision/tile knobs and the concurrency contract.
 func AsBatchScorer(m Model) BatchScorer {
-	if bs, ok := m.(BatchScorer); ok {
-		return bs
-	}
-	return batchAdapter{m}
+	return NewBatchScorer(m, BatchOptions{})
 }
 
 // batchAdapter implements BatchScorer over any Model by looping per query.
@@ -53,39 +50,31 @@ func (a batchAdapter) ScoreHeadsBatch(ts []int32, r int32, cands []int32, out []
 	}
 }
 
-// gather copies the embedding rows of ids into one contiguous block. The
-// batch scorers pay this once per (relation, direction) chunk; every query
-// of the chunk then streams the same cache- and prefetch-friendly block
-// instead of re-walking scattered rows of the full table.
-func (t *table) gather(ids []int32) []float64 {
-	block := make([]float64, len(ids)*t.dim)
-	for j, id := range ids {
-		copy(block[j*t.dim:(j+1)*t.dim], t.vec(id))
-	}
-	return block
-}
-
-// candTile is the number of candidate rows a batch kernel keeps hot across
-// queries. 8 rows at dim 128 is 8 KB — comfortably L1-resident — so each
-// pool row is read from memory once per tile sweep instead of once per
-// query. Tiling only reorders the (query, candidate) iteration; each score
-// remains one sequential reduction, so results are bit-identical to the
-// per-query path.
-const candTile = 8
+// defaultTile is the kernel tile used when the caller doesn't autotune: 8
+// candidate rows at dim 128 is 8 KB — comfortably L1-resident. TileFor
+// picks a better value from the pool/dim shape at plan compile time.
+// Tiling only reorders the (query, candidate) iteration; each score remains
+// one sequential reduction, so results are bit-identical to the per-query
+// path at any tile size.
+const defaultTile = 8
 
 // scoreDotBatch computes out[i*nc+j] = dot(qs[i], block[j]) for the models
 // whose score is a query-vector/candidate-vector dot product (DistMult,
-// ComplEx, RESCAL). Four candidate rows of the gathered block are scored in
-// flight per step: their accumulator chains are independent, hiding the FP
-// add latency that serializes a lone running sum. The interleaving only
-// changes which scores progress together — each individual score remains the
-// same sequential Σ_k reduction as dot(), so results stay bit-identical to
-// the per-query path. The [:len(q)] re-slices let the compiler elide bounds
+// ComplEx, RESCAL, TuckER, ConvE). tile candidate rows of the gathered
+// block stay hot across queries, and four of them are scored in flight per
+// step: their accumulator chains are independent, hiding the FP add latency
+// that serializes a lone running sum. The interleaving only changes which
+// scores progress together — each individual score remains the same
+// sequential Σ_k reduction as dot(), so results stay bit-identical to the
+// per-query path. The [:len(q)] re-slices let the compiler elide bounds
 // checks in the accumulation loop.
-func scoreDotBatch(qs, block []float64, dim, nc int, out []float64) {
+func scoreDotBatch(qs, block []float64, dim, nc int, out []float64, tile int) {
+	if tile <= 0 {
+		tile = defaultTile
+	}
 	nq := len(qs) / dim
-	for j0 := 0; j0 < nc; j0 += candTile {
-		j1 := j0 + candTile
+	for j0 := 0; j0 < nc; j0 += tile {
+		j1 := j0 + tile
 		if j1 > nc {
 			j1 = nc
 		}
@@ -118,10 +107,13 @@ func scoreDotBatch(qs, block []float64, dim, nc int, out []float64) {
 // with the same four-row accumulator scheme as scoreDotBatch. math.Abs is
 // sign-symmetric, so one kernel serves both directions even though the
 // per-query code writes q-c for tails and c-q for heads.
-func scoreL1Batch(qs, block []float64, dim, nc int, out []float64) {
+func scoreL1Batch(qs, block []float64, dim, nc int, out []float64, tile int) {
+	if tile <= 0 {
+		tile = defaultTile
+	}
 	nq := len(qs) / dim
-	for j0 := 0; j0 < nc; j0 += candTile {
-		j1 := j0 + candTile
+	for j0 := 0; j0 < nc; j0 += tile {
+		j1 := j0 + tile
 		if j1 > nc {
 			j1 = nc
 		}
@@ -159,10 +151,13 @@ func scoreL1Batch(qs, block []float64, dim, nc int, out []float64) {
 // complex moduli (RotatE), with vectors in the [re..., im...] layout.
 // math.Hypot is sign-symmetric like Abs, so one kernel serves both
 // directions.
-func scoreRotBatch(qs, block []float64, dim, half, nc int, out []float64) {
+func scoreRotBatch(qs, block []float64, dim, half, nc int, out []float64, tile int) {
+	if tile <= 0 {
+		tile = defaultTile
+	}
 	nq := len(qs) / dim
-	for j0 := 0; j0 < nc; j0 += candTile {
-		j1 := j0 + candTile
+	for j0 := 0; j0 < nc; j0 += tile {
+		j1 := j0 + tile
 		if j1 > nc {
 			j1 = nc
 		}

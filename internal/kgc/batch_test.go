@@ -54,32 +54,49 @@ func TestBatchScoringBitIdentical(t *testing.T) {
 	}
 }
 
-// The embedding models carry native batch implementations; TuckER and ConvE
-// go through the generic per-query adapter.
+// All seven built-in models score through the universal store-backed batch
+// lane; only externally supplied plain Models fall back to the per-query
+// adapter.
 func TestAsBatchScorerDispatch(t *testing.T) {
 	g := trainGraph(t)
-	native := map[string]bool{
-		"TransE": true, "DistMult": true, "ComplEx": true, "RESCAL": true, "RotatE": true,
-		"TuckER": false, "ConvE": false,
-	}
-	for name, want := range native {
+	for _, name := range ModelNames() {
 		m, err := New(name, g, 8, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
+		if !IsNativeBatch(m) {
+			t.Errorf("%s: IsNativeBatch = false, want true", name)
+		}
 		bs := AsBatchScorer(m)
-		_, adapted := bs.(batchAdapter)
-		if adapted == want {
-			t.Errorf("%s: native batch scorer = %v, want %v", name, !adapted, want)
+		if _, ok := bs.(*storeScorer); !ok {
+			t.Errorf("%s: AsBatchScorer = %T, want *storeScorer", name, bs)
 		}
 	}
-	// Idempotent: adapting an adapter must not re-wrap.
-	m, _ := New("TuckER", g, 8, 1)
-	bs := AsBatchScorer(m)
+	// A plain Model (no native contract) gets the per-query adapter.
+	m, _ := New("TransE", g, 8, 1)
+	plain := plainModel{m}
+	if IsNativeBatch(plain) {
+		t.Error("plain Model reported as native batch")
+	}
+	bs := AsBatchScorer(plain)
+	if _, ok := bs.(batchAdapter); !ok {
+		t.Errorf("plain Model: AsBatchScorer = %T, want batchAdapter", bs)
+	}
+	// Idempotent: adapting an existing BatchScorer must not re-wrap.
 	if again := AsBatchScorer(bs); again != bs {
 		t.Error("AsBatchScorer re-wrapped an existing BatchScorer")
 	}
 }
+
+// plainModel hides a model's native batch contract, leaving only the Model
+// interface visible.
+type plainModel struct{ m Model }
+
+func (p plainModel) Name() string                                  { return p.m.Name() }
+func (p plainModel) Dim() int                                      { return p.m.Dim() }
+func (p plainModel) ScoreTriple(h, r, t int32) float64             { return p.m.ScoreTriple(h, r, t) }
+func (p plainModel) ScoreTails(h, r int32, c []int32, o []float64) { p.m.ScoreTails(h, r, c, o) }
+func (p plainModel) ScoreHeads(r, t int32, c []int32, o []float64) { p.m.ScoreHeads(r, t, c, o) }
 
 // Zero-length query and candidate slices must be safe no-ops.
 func TestBatchScoringEmpty(t *testing.T) {

@@ -10,9 +10,10 @@ import (
 // DistMult (Yang et al. 2014) is the diagonal bilinear model:
 // score(h, r, t) = Σᵢ hᵢ·rᵢ·tᵢ.
 type DistMult struct {
-	dim int
-	ent *table
-	rel *table
+	dim    int
+	ent    *table
+	rel    *table
+	stores entStores
 }
 
 // NewDistMult initializes a DistMult model for the graph.
@@ -66,13 +67,16 @@ func (m *DistMult) ScoreHeads(r, t int32, cands []int32, out []float64) {
 	}
 }
 
-// ScoreTailsBatch scores (hs[i], r, cands[j]) into out[i*len(cands)+j],
-// gathering the candidate rows into one contiguous block per call and
-// reusing it for every query in the batch.
-func (m *DistMult) ScoreTailsBatch(hs []int32, r int32, cands []int32, out []float64) {
-	block := m.ent.gather(cands)
+// Universal batch-lane contract (see scoring.go): tail queries are h∘r,
+// head queries r∘t, scored by the dot kernel.
+
+func (m *DistMult) entityTable() *table      { return m.ent }
+func (m *DistMult) entityStores() *entStores { return &m.stores }
+func (m *DistMult) entityBias() *table       { return nil }
+func (m *DistMult) singleViaBatch() bool     { return false }
+
+func (m *DistMult) buildTailQueries(hs []int32, r int32, qs []float64, _ *scratch) {
 	rv := m.rel.vec(r)
-	qs := make([]float64, len(hs)*m.dim)
 	for i, h := range hs {
 		hv := m.ent.vec(h)
 		q := qs[i*m.dim : (i+1)*m.dim]
@@ -80,14 +84,10 @@ func (m *DistMult) ScoreTailsBatch(hs []int32, r int32, cands []int32, out []flo
 			q[k] = hv[k] * rv[k]
 		}
 	}
-	scoreDotBatch(qs, block, m.dim, len(cands), out)
 }
 
-// ScoreHeadsBatch scores (cands[j], r, ts[i]) into out[i*len(cands)+j].
-func (m *DistMult) ScoreHeadsBatch(ts []int32, r int32, cands []int32, out []float64) {
-	block := m.ent.gather(cands)
+func (m *DistMult) buildHeadQueries(ts []int32, r int32, qs []float64, _ *scratch) {
 	rv := m.rel.vec(r)
-	qs := make([]float64, len(ts)*m.dim)
 	for i, t := range ts {
 		tv := m.ent.vec(t)
 		q := qs[i*m.dim : (i+1)*m.dim]
@@ -95,7 +95,10 @@ func (m *DistMult) ScoreHeadsBatch(ts []int32, r int32, cands []int32, out []flo
 			q[k] = rv[k] * tv[k]
 		}
 	}
-	scoreDotBatch(qs, block, m.dim, len(cands), out)
+}
+
+func (m *DistMult) kernel(qs, block []float64, nc int, out []float64, tile int) {
+	scoreDotBatch(qs, block, m.dim, nc, out, tile)
 }
 
 func (m *DistMult) gradStep(h, r, t int32, coeff, lr float64) {
@@ -117,10 +120,11 @@ func (m *DistMult) gradStep(h, r, t int32, coeff, lr float64) {
 // scores with Re(⟨h, r, conj(t)⟩), fixing DistMult's inability to model
 // antisymmetric relations. Vectors are stored as [re₀..re_{d/2}, im₀..].
 type ComplEx struct {
-	dim  int // total real dimensionality (must be even); d/2 complex dims
-	half int
-	ent  *table
-	rel  *table
+	dim    int // total real dimensionality (must be even); d/2 complex dims
+	half   int
+	ent    *table
+	rel    *table
+	stores entStores
 }
 
 // NewComplEx initializes a ComplEx model; dim must be even.
@@ -196,25 +200,24 @@ func (m *ComplEx) ScoreHeads(r, t int32, cands []int32, out []float64) {
 	}
 }
 
-// ScoreTailsBatch scores (hs[i], r, cands[j]) into out[i*len(cands)+j],
-// gathering the candidate rows into one contiguous block per call and
-// reusing it for every query in the batch.
-func (m *ComplEx) ScoreTailsBatch(hs []int32, r int32, cands []int32, out []float64) {
-	block := m.ent.gather(cands)
+// Universal batch-lane contract (see scoring.go): complex-product queries
+// in [re..., im...] layout, scored by the dot kernel.
+
+func (m *ComplEx) entityTable() *table      { return m.ent }
+func (m *ComplEx) entityStores() *entStores { return &m.stores }
+func (m *ComplEx) entityBias() *table       { return nil }
+func (m *ComplEx) singleViaBatch() bool     { return false }
+
+func (m *ComplEx) buildTailQueries(hs []int32, r int32, qs []float64, _ *scratch) {
 	rv := m.rel.vec(r)
-	qs := make([]float64, len(hs)*m.dim)
 	for i, h := range hs {
 		m.queryTail(m.ent.vec(h), rv, qs[i*m.dim:(i+1)*m.dim])
 	}
-	scoreDotBatch(qs, block, m.dim, len(cands), out)
 }
 
-// ScoreHeadsBatch scores (cands[j], r, ts[i]) into out[i*len(cands)+j].
-func (m *ComplEx) ScoreHeadsBatch(ts []int32, r int32, cands []int32, out []float64) {
-	block := m.ent.gather(cands)
+func (m *ComplEx) buildHeadQueries(ts []int32, r int32, qs []float64, _ *scratch) {
 	rv := m.rel.vec(r)
 	d := m.half
-	qs := make([]float64, len(ts)*m.dim)
 	for i, t := range ts {
 		tv := m.ent.vec(t)
 		q := qs[i*m.dim : (i+1)*m.dim]
@@ -225,7 +228,10 @@ func (m *ComplEx) ScoreHeadsBatch(ts []int32, r int32, cands []int32, out []floa
 			q[d+k] = rr*ti - ri*tr
 		}
 	}
-	scoreDotBatch(qs, block, m.dim, len(cands), out)
+}
+
+func (m *ComplEx) kernel(qs, block []float64, nc int, out []float64, tile int) {
+	scoreDotBatch(qs, block, m.dim, nc, out, tile)
 }
 
 func (m *ComplEx) gradStep(h, r, t int32, coeff, lr float64) {
@@ -253,9 +259,10 @@ func (m *ComplEx) gradStep(h, r, t int32, coeff, lr float64) {
 // RESCAL (Nickel et al. 2011) scores with a full bilinear form per relation:
 // score(h, r, t) = hᵀ·W_r·t with W_r ∈ R^{d×d}.
 type RESCAL struct {
-	dim int
-	ent *table
-	rel *table // each row is a flattened d×d matrix
+	dim    int
+	ent    *table
+	rel    *table // each row is a flattened d×d matrix
+	stores entStores
 }
 
 // NewRESCAL initializes a RESCAL model.
@@ -319,17 +326,23 @@ func (m *RESCAL) ScoreHeads(r, t int32, cands []int32, out []float64) {
 	}
 }
 
-// ScoreTailsBatch scores (hs[i], r, cands[j]) into out[i*len(cands)+j],
-// gathering the candidate rows into one contiguous block per call and
-// reusing it for every query in the batch.
-func (m *RESCAL) ScoreTailsBatch(hs []int32, r int32, cands []int32, out []float64) {
-	block := m.ent.gather(cands)
+// Universal batch-lane contract (see scoring.go): tail queries are hᵀW_r,
+// head queries W_r·t, scored by the dot kernel.
+
+func (m *RESCAL) entityTable() *table      { return m.ent }
+func (m *RESCAL) entityStores() *entStores { return &m.stores }
+func (m *RESCAL) entityBias() *table       { return nil }
+func (m *RESCAL) singleViaBatch() bool     { return false }
+
+func (m *RESCAL) buildTailQueries(hs []int32, r int32, qs []float64, _ *scratch) {
 	w := m.rel.vec(r)
 	d := m.dim
-	qs := make([]float64, len(hs)*d)
 	for i, h := range hs {
 		hv := m.ent.vec(h)
 		q := qs[i*d : (i+1)*d]
+		for j := range q {
+			q[j] = 0
+		}
 		for a := 0; a < d; a++ {
 			ha := hv[a]
 			row := w[a*d : a*d+d]
@@ -338,15 +351,11 @@ func (m *RESCAL) ScoreTailsBatch(hs []int32, r int32, cands []int32, out []float
 			}
 		}
 	}
-	scoreDotBatch(qs, block, d, len(cands), out)
 }
 
-// ScoreHeadsBatch scores (cands[j], r, ts[i]) into out[i*len(cands)+j].
-func (m *RESCAL) ScoreHeadsBatch(ts []int32, r int32, cands []int32, out []float64) {
-	block := m.ent.gather(cands)
+func (m *RESCAL) buildHeadQueries(ts []int32, r int32, qs []float64, _ *scratch) {
 	w := m.rel.vec(r)
 	d := m.dim
-	qs := make([]float64, len(ts)*d)
 	for i, t := range ts {
 		tv := m.ent.vec(t)
 		q := qs[i*d : (i+1)*d]
@@ -354,7 +363,10 @@ func (m *RESCAL) ScoreHeadsBatch(ts []int32, r int32, cands []int32, out []float
 			q[a] = dot(w[a*d:a*d+d], tv)
 		}
 	}
-	scoreDotBatch(qs, block, d, len(cands), out)
+}
+
+func (m *RESCAL) kernel(qs, block []float64, nc int, out []float64, tile int) {
+	scoreDotBatch(qs, block, m.dim, nc, out, tile)
 }
 
 func (m *RESCAL) gradStep(h, r, t int32, coeff, lr float64) {

@@ -40,6 +40,8 @@ type ConvE struct {
 	bnConvMean, bnConvVar []float64
 	bnFCMean, bnFCVar     []float64
 	bnM                   float64
+
+	stores entStores
 }
 
 // NewConvE initializes a ConvE model. dim is rounded up to a multiple of 4
@@ -88,25 +90,20 @@ func (m *ConvE) numRelations() int { return m.nrel }
 
 const bnEps = 1e-5
 
-// forward computes f(h, r). When caches are non-nil they receive the
-// intermediate activations needed for backprop: the stacked image, the
-// pre-BN conv output, and the post-BN/ReLU flattened features.
-func (m *ConvE) forward(h, r int32, img, convPre, feat []float64) []float64 {
+// fcGroup is the number of chunk queries whose FC accumulators are kept hot
+// at once during the batched projection; 16 queries × dim 256 ≈ 32 KB, an
+// L1-sized working set.
+const fcGroup = 16
+
+// convFeatures computes the post-BN/ReLU flattened conv features of (h, r)
+// into feat. img is scratch for the stacked input image; convPre, when
+// non-nil, receives the pre-BN conv output for backprop.
+func (m *ConvE) convFeatures(h, r int32, img, convPre, feat []float64) {
 	ih, iw := 2*m.dh, m.dw
-	if img == nil {
-		img = make([]float64, ih*iw)
-	}
 	hv, rv := m.ent.vec(h), m.rel.vec(r)
 	copy(img[:m.dim], hv)
 	copy(img[m.dim:], rv)
 
-	flat := m.channels * ih * iw
-	if convPre == nil {
-		convPre = make([]float64, flat)
-	}
-	if feat == nil {
-		feat = make([]float64, flat)
-	}
 	for c := 0; c < m.channels; c++ {
 		k := m.kern.vec(int32(c))
 		bias := m.kernB.vec(0)[c]
@@ -129,7 +126,9 @@ func (m *ConvE) forward(h, r int32, img, convPre, feat []float64) []float64 {
 					}
 				}
 				idx := (c*ih+y)*iw + x
-				convPre[idx] = s
+				if convPre != nil {
+					convPre[idx] = s
+				}
 				norm := (s - mean) * inv
 				if norm > 0 {
 					feat[idx] = norm
@@ -139,6 +138,22 @@ func (m *ConvE) forward(h, r int32, img, convPre, feat []float64) []float64 {
 			}
 		}
 	}
+}
+
+// forward computes f(h, r). When caches are non-nil they receive the
+// intermediate activations needed for backprop: the stacked image, the
+// pre-BN conv output, and the post-BN/ReLU flattened features.
+func (m *ConvE) forward(h, r int32, img, convPre, feat []float64) []float64 {
+	ih, iw := 2*m.dh, m.dw
+	if img == nil {
+		img = make([]float64, ih*iw)
+	}
+	flat := m.channels * ih * iw
+	if feat == nil {
+		feat = make([]float64, flat)
+	}
+	m.convFeatures(h, r, img, convPre, feat)
+
 	// FC projection + output batch norm.
 	out := make([]float64, m.dim)
 	copy(out, m.fcB.vec(0))
@@ -203,6 +218,114 @@ func (m *ConvE) ScoreTails(h, r int32, cands []int32, out []float64) {
 // ScoreHeads answers head queries through the reciprocal relation.
 func (m *ConvE) ScoreHeads(r, t int32, cands []int32, out []float64) {
 	m.ScoreTails(t, r+int32(m.nrel), cands, out)
+}
+
+// Universal batch-lane contract (see scoring.go). The query vector is
+// f(h, r) itself, so candidate scoring is the dot kernel plus the
+// per-entity bias. singleViaBatch is on: the model's own per-query methods
+// allocate a fresh conv/FC stack per call, while the routed path reuses
+// scorer scratch.
+
+func (m *ConvE) entityTable() *table      { return m.ent }
+func (m *ConvE) entityStores() *entStores { return &m.stores }
+func (m *ConvE) entityBias() *table       { return m.entBias }
+func (m *ConvE) singleViaBatch() bool     { return true }
+
+// buildTailQueries computes f(h_i, r) for the whole chunk: conv features
+// per query, then one u-outer pass over the FC weight matrix shared by all
+// queries — the 2·dh·dw·C×dim matrix streams from memory once per chunk
+// instead of once per query. Each query still accumulates its FC sum in the
+// same ascending-u order as forward, so scores stay bit-identical to the
+// per-query path.
+func (m *ConvE) buildTailQueries(hs []int32, r int32, qs []float64, sc *scratch) {
+	ih, iw := 2*m.dh, m.dw
+	flat := m.channels * ih * iw
+	nq := len(hs)
+	sc.img = growF64(sc.img, ih*iw)
+	sc.feat = growF64(sc.feat, nq*flat)
+	for i, h := range hs {
+		m.convFeatures(h, r, sc.img, nil, sc.feat[i*flat:(i+1)*flat])
+	}
+
+	// Transpose the features to u-major so the FC pass reads each unit's
+	// chunk activations from one contiguous run instead of striding by flat.
+	sc.featT = growF64(sc.featT, flat*nq)
+	for i := 0; i < nq; i++ {
+		f := sc.feat[i*flat : (i+1)*flat]
+		for u, v := range f {
+			sc.featT[u*nq+i] = v
+		}
+	}
+
+	fcb := m.fcB.vec(0)
+	for i := 0; i < nq; i++ {
+		copy(qs[i*m.dim:(i+1)*m.dim], fcb)
+	}
+	// The FC pass runs u-outer over sub-groups of fcGroup queries: the
+	// group's accumulators (fcGroup × dim floats) stay L1-resident across
+	// the whole weight sweep, and the weight matrix streams sequentially
+	// once per group. Queries are paired within the group so each row load
+	// feeds two accumulations. Neither transform reorders a single query's
+	// sum — every q still adds its active units in ascending u — so scores
+	// stay bit-identical to forward.
+	w := m.fc.vec(0)
+	for i0 := 0; i0 < nq; i0 += fcGroup {
+		i1 := i0 + fcGroup
+		if i1 > nq {
+			i1 = nq
+		}
+		for u := 0; u < flat; u++ {
+			row := w[u*m.dim : u*m.dim+m.dim]
+			fus := sc.featT[u*nq : u*nq+nq]
+			i := i0
+			for ; i+1 < i1; i += 2 {
+				f0, f1 := fus[i], fus[i+1]
+				switch {
+				case f0 != 0 && f1 != 0:
+					q0 := qs[i*m.dim : (i+1)*m.dim][:len(row)]
+					q1 := qs[(i+1)*m.dim : (i+2)*m.dim][:len(row)]
+					for j, wj := range row {
+						q0[j] += f0 * wj
+						q1[j] += f1 * wj
+					}
+				case f0 != 0:
+					q0 := qs[i*m.dim : (i+1)*m.dim][:len(row)]
+					for j, wj := range row {
+						q0[j] += f0 * wj
+					}
+				case f1 != 0:
+					q1 := qs[(i+1)*m.dim : (i+2)*m.dim][:len(row)]
+					for j, wj := range row {
+						q1[j] += f1 * wj
+					}
+				}
+			}
+			if i < i1 {
+				if f0 := fus[i]; f0 != 0 {
+					q0 := qs[i*m.dim : (i+1)*m.dim][:len(row)]
+					for j, wj := range row {
+						q0[j] += f0 * wj
+					}
+				}
+			}
+		}
+	}
+	for i := 0; i < nq; i++ {
+		q := qs[i*m.dim : (i+1)*m.dim]
+		for j := 0; j < m.dim; j++ {
+			q[j] = (q[j] - m.bnFCMean[j]) / math.Sqrt(m.bnFCVar[j]+bnEps)
+		}
+	}
+}
+
+// buildHeadQueries answers head queries through the reciprocal relation,
+// exactly like ScoreHeads.
+func (m *ConvE) buildHeadQueries(ts []int32, r int32, qs []float64, sc *scratch) {
+	m.buildTailQueries(ts, r+int32(m.nrel), qs, sc)
+}
+
+func (m *ConvE) kernel(qs, block []float64, nc int, out []float64, tile int) {
+	scoreDotBatch(qs, block, m.dim, nc, out, tile)
 }
 
 func (m *ConvE) gradStep(h, r, t int32, coeff, lr float64) {

@@ -13,10 +13,11 @@ import (
 // complex moduli. Entity vectors are stored as [re..., im...]; relations
 // store d/2 phases.
 type RotatE struct {
-	dim  int // total real dimensionality (even); d/2 complex dims
-	half int
-	ent  *table
-	rel  *table // phases, one per complex dimension
+	dim    int // total real dimensionality (even); d/2 complex dims
+	half   int
+	ent    *table
+	rel    *table // phases, one per complex dimension
+	stores entStores
 }
 
 // NewRotatE initializes a RotatE model; dim must be even.
@@ -106,36 +107,38 @@ func (m *RotatE) ScoreHeads(r, t int32, cands []int32, out []float64) {
 	}
 }
 
-// ScoreTailsBatch scores (hs[i], r, cands[j]) into out[i*len(cands)+j],
-// gathering the candidate rows into one contiguous block per call and
-// reusing it for every query in the batch.
-func (m *RotatE) ScoreTailsBatch(hs []int32, r int32, cands []int32, out []float64) {
-	block := m.ent.gather(cands)
+// Universal batch-lane contract (see scoring.go): tail queries rotate h by
+// r's phases, head queries rotate t by the inverse phases (|h∘r − t| =
+// |h − t∘r⁻¹|), scored by the complex-modulus kernel.
+
+func (m *RotatE) entityTable() *table      { return m.ent }
+func (m *RotatE) entityStores() *entStores { return &m.stores }
+func (m *RotatE) entityBias() *table       { return nil }
+func (m *RotatE) singleViaBatch() bool     { return false }
+
+func (m *RotatE) buildTailQueries(hs []int32, r int32, qs []float64, _ *scratch) {
 	phases := m.rel.vec(r)
-	qs := make([]float64, len(hs)*m.dim)
 	for i, h := range hs {
 		q := qs[i*m.dim : (i+1)*m.dim]
 		m.rotated(m.ent.vec(h), phases, q[:m.half], q[m.half:])
 	}
-	scoreRotBatch(qs, block, m.dim, m.half, len(cands), out)
 }
 
-// ScoreHeadsBatch scores (cands[j], r, ts[i]) into out[i*len(cands)+j]: the
-// inverse rotation is computed once for the whole batch, then each t is
-// rotated by it as in the per-query path.
-func (m *RotatE) ScoreHeadsBatch(ts []int32, r int32, cands []int32, out []float64) {
-	block := m.ent.gather(cands)
+func (m *RotatE) buildHeadQueries(ts []int32, r int32, qs []float64, sc *scratch) {
 	phases := m.rel.vec(r)
-	inv := make([]float64, m.half)
+	sc.phase = growF64(sc.phase, m.half)
+	inv := sc.phase
 	for i := range inv {
 		inv[i] = -phases[i]
 	}
-	qs := make([]float64, len(ts)*m.dim)
 	for i, t := range ts {
 		q := qs[i*m.dim : (i+1)*m.dim]
 		m.rotated(m.ent.vec(t), inv, q[:m.half], q[m.half:])
 	}
-	scoreRotBatch(qs, block, m.dim, m.half, len(cands), out)
+}
+
+func (m *RotatE) kernel(qs, block []float64, nc int, out []float64, tile int) {
+	scoreRotBatch(qs, block, m.dim, m.half, nc, out, tile)
 }
 
 func (m *RotatE) gradStep(h, r, t int32, coeff, lr float64) {

@@ -1,0 +1,291 @@
+package kgc
+
+import (
+	"sync"
+
+	"kgeval/internal/kgc/store"
+)
+
+// BatchOptions selects the execution parameters of a batch scoring lane.
+type BatchOptions struct {
+	// Precision is the entity-store precision candidate (and, for non-default
+	// precisions, answer-side) embeddings are gathered at. Float64 is the
+	// bit-exact reference; Float32 and Int8 trade a bounded score error for
+	// memory footprint and gather bandwidth. Ignored for models without a
+	// native batch lane, which always score at float64.
+	Precision store.Precision
+	// Tile is the kernel candidate-tile size; 0 uses the built-in default.
+	// TileFor picks a tuned value from the pool/dim shape.
+	Tile int
+}
+
+// batchNative is the per-model contract behind the universal batch lane.
+// A model implements it by exposing its entity table and two query-builder
+// hooks; the gathering, tiling and kernel dispatch live in storeScorer, so
+// every model shares one batch execution path instead of reimplementing it.
+type batchNative interface {
+	Model
+	entityTable() *table
+	entityStores() *entStores
+	// entityBias returns the per-entity additive score bias table (one value
+	// per row), or nil.
+	entityBias() *table
+	// buildTailQueries writes, for each head hs[i], the query vector q such
+	// that score(hs[i], r, c) = kernel(q, c) (+ bias[c]) into
+	// qs[i*Dim():(i+1)*Dim()]. qs may hold stale data from a previous chunk;
+	// implementations must overwrite every element.
+	buildTailQueries(hs []int32, r int32, qs []float64, sc *scratch)
+	// buildHeadQueries is the head-direction analogue: score(c, r, ts[i]) =
+	// kernel(q, c) (+ bias[c]).
+	buildHeadQueries(ts []int32, r int32, qs []float64, sc *scratch)
+	// kernel scores every query in qs against nc gathered candidate rows,
+	// writing out[i*nc+j]. tile is the candidate blocking factor.
+	kernel(qs, block []float64, nc int, out []float64, tile int)
+	// singleViaBatch reports whether the scorer's per-query entry points
+	// (ScoreTriple/ScoreTails/ScoreHeads) should also route through
+	// buildXQueries+kernel even at float64. Models whose own per-query
+	// methods recompute expensive per-relation state (TuckER's core
+	// contraction, ConvE's conv+FC stack) opt in; the scorer's scratch then
+	// caches that state across the calls of a relation chunk. Opting in
+	// requires the routed path to stay bit-identical to the model's own
+	// per-query methods.
+	singleViaBatch() bool
+}
+
+// scratch holds one scorer's reusable buffers. Sizes are high-water marks:
+// buffers grow to the largest chunk seen and are reused verbatim after.
+type scratch struct {
+	block []float64 // gathered candidate rows
+	qs    []float64 // query vectors, one per chunk query
+	q1    []float64 // single-query buffer for per-query entry points
+	phase []float64 // RotatE inverse phases
+	img   []float64 // ConvE stacked input image
+	feat  []float64 // ConvE flattened conv features, one row per query
+	featT []float64 // ConvE conv features transposed to unit-major
+
+	// TuckER's relation matrix M_r = W ×₂ r, cached across the calls of a
+	// relation chunk (tails, trues and heads all share it).
+	relMat   []float64
+	relMatR  int32
+	relMatOK bool
+}
+
+// growF64 returns buf with length ≥ n, reallocating only to grow.
+func growF64(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// numPrec mirrors the store package's precision count.
+const numPrec = 3
+
+// entStores lazily builds and caches a model's entity store, one per
+// precision. The Float64 store aliases the live weight table (always
+// current); Float32/Int8 stores snapshot the weights at first use — fit a
+// model before evaluating it at reduced precision, or call ResetStores
+// after further training.
+type entStores struct {
+	mu sync.Mutex
+	s  [numPrec]*store.Store
+}
+
+func (c *entStores) get(t *table, p store.Precision) *store.Store {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if st := c.s[p]; st != nil {
+		return st
+	}
+	st, err := store.FromRows(t.w, len(t.w)/t.dim, t.dim, p)
+	if err != nil {
+		// Unreachable: a table's shape is internally consistent.
+		panic("kgc: building entity store: " + err.Error())
+	}
+	c.s[p] = st
+	return st
+}
+
+func (c *entStores) attach(st *store.Store) {
+	c.mu.Lock()
+	c.s[st.Precision()] = st
+	c.mu.Unlock()
+}
+
+func (c *entStores) reset() {
+	c.mu.Lock()
+	c.s = [numPrec]*store.Store{}
+	c.mu.Unlock()
+}
+
+// ResetStores drops m's cached entity stores so they are rebuilt from the
+// current weights on next use. Call it after training a model further once
+// it has been evaluated at reduced precision (the float64 store aliases the
+// live weights and never goes stale).
+func ResetStores(m Model) {
+	if bn, ok := m.(batchNative); ok {
+		bn.entityStores().reset()
+	}
+}
+
+// IsNativeBatch reports whether m scores through the universal store-backed
+// batch lane (true for all seven built-in models) rather than the per-query
+// fallback adapter.
+func IsNativeBatch(m Model) bool {
+	_, ok := m.(batchNative)
+	return ok
+}
+
+// NewBatchScorer returns a batch lane for m with explicit precision and
+// tile. Models implementing the native contract get a store-backed scorer;
+// a model that already implements BatchScorer is returned as-is; anything
+// else is wrapped in the per-query adapter (which ignores opts — it always
+// scores at float64 through the model's own methods).
+//
+// The returned scorer owns reusable scratch buffers and is NOT safe for
+// concurrent use: create one per worker goroutine. Scorers for the same
+// model share the underlying (immutable) entity store, so per-worker
+// creation is cheap after the first.
+func NewBatchScorer(m Model, opts BatchOptions) BatchScorer {
+	if bn, ok := m.(batchNative); ok {
+		return &storeScorer{
+			m:    bn,
+			st:   bn.entityStores().get(bn.entityTable(), opts.Precision),
+			bias: bn.entityBias(),
+			prec: opts.Precision,
+			tile: opts.Tile,
+		}
+	}
+	if bs, ok := m.(BatchScorer); ok {
+		return bs
+	}
+	return batchAdapter{m}
+}
+
+// storeScorer is the universal batch lane: it gathers each chunk's
+// candidate pool from the model's entity store at the selected precision
+// into a scratch block, asks the model to build its query vectors, and
+// streams the block through the model's tiled kernel. One instance owns the
+// scratch, so it is not safe for concurrent use.
+type storeScorer struct {
+	m    batchNative
+	st   *store.Store
+	bias *table
+	prec store.Precision
+	tile int
+	sc   scratch
+
+	oneID [1]int32 // single-query/candidate id buffers for the routed paths
+	oneC  [1]int32
+	oneS  [1]float64
+}
+
+func (s *storeScorer) Name() string { return s.m.Name() }
+func (s *storeScorer) Dim() int     { return s.m.Dim() }
+
+// ScoreTailsBatch scores (hs[i], r, cands[j]) into out[i*len(cands)+j].
+func (s *storeScorer) ScoreTailsBatch(hs []int32, r int32, cands []int32, out []float64) {
+	dim := s.m.Dim()
+	s.sc.qs = growF64(s.sc.qs, len(hs)*dim)
+	s.m.buildTailQueries(hs, r, s.sc.qs, &s.sc)
+	s.scoreBlock(s.sc.qs, cands, out)
+}
+
+// ScoreHeadsBatch scores (cands[j], r, ts[i]) into out[i*len(cands)+j].
+func (s *storeScorer) ScoreHeadsBatch(ts []int32, r int32, cands []int32, out []float64) {
+	dim := s.m.Dim()
+	s.sc.qs = growF64(s.sc.qs, len(ts)*dim)
+	s.m.buildHeadQueries(ts, r, s.sc.qs, &s.sc)
+	s.scoreBlock(s.sc.qs, cands, out)
+}
+
+// scoreBlock gathers cands once and runs the kernel for every query in qs,
+// then adds the per-entity bias when the model has one.
+func (s *storeScorer) scoreBlock(qs []float64, cands []int32, out []float64) {
+	dim := s.m.Dim()
+	nc := len(cands)
+	s.sc.block = growF64(s.sc.block, nc*dim)
+	s.st.Gather(cands, s.sc.block)
+	s.m.kernel(qs, s.sc.block, nc, out, s.tile)
+	if s.bias != nil {
+		nq := len(qs) / dim
+		for i := 0; i < nq; i++ {
+			row := out[i*nc : (i+1)*nc]
+			for j, c := range cands {
+				row[j] += s.bias.vec(c)[0]
+			}
+		}
+	}
+}
+
+// routeSingles reports whether the per-query entry points go through the
+// store-backed path: always at reduced precision (candidates and answer
+// entities must come from the same quantized store the batch kernels read),
+// and at float64 only for models that opt in via singleViaBatch.
+func (s *storeScorer) routeSingles() bool {
+	return s.prec != store.Float64 || s.m.singleViaBatch()
+}
+
+// ScoreTriple scores one triple, consistent with the batch lane.
+func (s *storeScorer) ScoreTriple(h, r, t int32) float64 {
+	if !s.routeSingles() {
+		return s.m.ScoreTriple(h, r, t)
+	}
+	s.oneC[0] = t
+	s.ScoreTails(h, r, s.oneC[:], s.oneS[:])
+	return s.oneS[0]
+}
+
+// ScoreTails scores (h, r, cand) for every candidate tail.
+func (s *storeScorer) ScoreTails(h, r int32, cands []int32, out []float64) {
+	if !s.routeSingles() {
+		s.m.ScoreTails(h, r, cands, out)
+		return
+	}
+	dim := s.m.Dim()
+	s.sc.q1 = growF64(s.sc.q1, dim)
+	s.oneID[0] = h
+	s.m.buildTailQueries(s.oneID[:], r, s.sc.q1, &s.sc)
+	s.scoreSingles(s.sc.q1, cands, out)
+}
+
+// ScoreHeads scores (cand, r, t) for every candidate head.
+func (s *storeScorer) ScoreHeads(r, t int32, cands []int32, out []float64) {
+	if !s.routeSingles() {
+		s.m.ScoreHeads(r, t, cands, out)
+		return
+	}
+	dim := s.m.Dim()
+	s.sc.q1 = growF64(s.sc.q1, dim)
+	s.oneID[0] = t
+	s.m.buildHeadQueries(s.oneID[:], r, s.sc.q1, &s.sc)
+	s.scoreSingles(s.sc.q1, cands, out)
+}
+
+// scoreSingles scores one query against cands, streaming the pool through a
+// bounded gather block so direct (per-query) relation groups don't inflate
+// the scratch to the full entity table.
+func (s *storeScorer) scoreSingles(q []float64, cands []int32, out []float64) {
+	const blockRows = 256
+	dim := s.m.Dim()
+	n := len(cands)
+	rows := blockRows
+	if n < rows {
+		rows = n
+	}
+	s.sc.block = growF64(s.sc.block, rows*dim)
+	for lo := 0; lo < n; lo += blockRows {
+		hi := lo + blockRows
+		if hi > n {
+			hi = n
+		}
+		part := cands[lo:hi]
+		s.st.Gather(part, s.sc.block)
+		s.m.kernel(q, s.sc.block[:len(part)*dim], len(part), out[lo:hi], s.tile)
+		if s.bias != nil {
+			for j, c := range part {
+				out[lo+j] += s.bias.vec(c)[0]
+			}
+		}
+	}
+}

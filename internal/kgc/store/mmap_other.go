@@ -1,0 +1,17 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// openMapped falls back to a heap load on platforms without mmap.
+func openMapped(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+func unmap([]byte) error { return nil }

@@ -1,0 +1,39 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// openMapped mmaps path read-only and parses it in place. The returned
+// store's payload slices alias the mapping; Close munmaps.
+func openMapped(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	if size < headerSize {
+		return nil, fmt.Errorf("store: %s: truncated header (%d bytes)", path, size)
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("store: mmap %s: %w", path, err)
+	}
+	s, err := fromBytes(b, b)
+	if err != nil {
+		syscall.Munmap(b)
+		return nil, fmt.Errorf("store: %s: %w", path, err)
+	}
+	return s, nil
+}
+
+func unmap(b []byte) error { return syscall.Munmap(b) }

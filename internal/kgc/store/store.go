@@ -1,0 +1,228 @@
+// Package store provides a columnar embedding store: dense row-major
+// embedding matrices held at one of three precisions — float64 (the
+// bit-exact reference), float32, and int8 with per-dimension-block
+// scale/zero-point quantization — behind one gather-oriented API.
+//
+// The store exists for the evaluation hot path: batch kernels gather a
+// candidate pool's rows into one contiguous float64 block and stream it for
+// every query of a relation chunk. Quantized variants shrink the table the
+// gather reads (4× for float32's half plus no accumulator column, 8×+ for
+// int8), trading a bounded per-value dequantization error for memory
+// footprint and gather bandwidth.
+//
+// Stores serialize to a versioned, mmap-able on-disk format (file.go):
+// several processes can Open the same file and share one read-only copy
+// through the page cache, making model load O(1) in the table size.
+package store
+
+import "fmt"
+
+// Precision selects the storage format of a Store.
+type Precision uint8
+
+const (
+	// Float64 stores rows as raw float64 — the bit-exact reference. A
+	// Float64 store built from an existing []float64 aliases it (zero copy).
+	Float64 Precision = iota
+	// Float32 stores rows as float32, halving footprint for ~1e-7 relative
+	// per-value error.
+	Float32
+	// Int8 stores rows as int8 with one scale/zero-point pair per
+	// BlockDim-dimension block of each row (affine quantization). Per-value
+	// error is bounded by half a quantization step: (max−min)/510 over the
+	// block.
+	Int8
+
+	numPrecisions = 3
+)
+
+// String returns the wire name: "float64", "float32" or "int8".
+func (p Precision) String() string {
+	switch p {
+	case Float64:
+		return "float64"
+	case Float32:
+		return "float32"
+	case Int8:
+		return "int8"
+	}
+	return fmt.Sprintf("Precision(%d)", uint8(p))
+}
+
+// ParsePrecision maps a wire name to its Precision. The empty string is
+// Float64, so callers can treat "no precision requested" as the reference.
+func ParsePrecision(s string) (Precision, error) {
+	switch s {
+	case "", "float64", "f64":
+		return Float64, nil
+	case "float32", "f32":
+		return Float32, nil
+	case "int8", "i8":
+		return Int8, nil
+	}
+	return 0, fmt.Errorf("store: unknown precision %q (want float64, float32 or int8)", s)
+}
+
+// BlockDim is the number of row dimensions sharing one scale/zero-point
+// pair under Int8. Smaller blocks track local value ranges more tightly
+// (lower error) at 8 bytes of quantization metadata per block per row.
+const BlockDim = 8
+
+// Store is a read-only dense rows×dim embedding matrix at one precision.
+// All methods are safe for concurrent use.
+type Store struct {
+	rows, dim int
+	prec      Precision
+
+	f64 []float64
+	f32 []float32
+	i8  []int8
+	// scale/zero hold rows×nblocks quantization parameters (Int8 only):
+	// value ≈ zero + scale·(q+128), q ∈ [−128, 127].
+	scale []float32
+	zero  []float32
+
+	mapped []byte // retained mmap region; nil for heap-backed stores
+}
+
+// nblocks returns the per-row quantization block count.
+func (s *Store) nblocks() int { return (s.dim + BlockDim - 1) / BlockDim }
+
+// FromRows builds a store over a rows×dim row-major matrix. Float64 aliases
+// data (zero copy — the store is a view of the caller's weights); Float32
+// and Int8 snapshot a converted copy.
+func FromRows(data []float64, rows, dim int, p Precision) (*Store, error) {
+	if dim <= 0 || rows < 0 || len(data) != rows*dim {
+		return nil, fmt.Errorf("store: shape %d×%d does not match %d values", rows, dim, len(data))
+	}
+	s := &Store{rows: rows, dim: dim, prec: p}
+	switch p {
+	case Float64:
+		s.f64 = data
+	case Float32:
+		s.f32 = make([]float32, len(data))
+		for i, v := range data {
+			s.f32[i] = float32(v)
+		}
+	case Int8:
+		s.i8 = make([]int8, len(data))
+		nb := s.nblocks()
+		s.scale = make([]float32, rows*nb)
+		s.zero = make([]float32, rows*nb)
+		for r := 0; r < rows; r++ {
+			quantizeRow(data[r*dim:(r+1)*dim], s.i8[r*dim:(r+1)*dim],
+				s.scale[r*nb:(r+1)*nb], s.zero[r*nb:(r+1)*nb])
+		}
+	default:
+		return nil, fmt.Errorf("store: unknown precision %d", p)
+	}
+	return s, nil
+}
+
+// quantizeRow quantizes one row into int8 blocks with affine
+// scale/zero-point per BlockDim dims: q = round((v−min)/step) − 128 with
+// step = (max−min)/255, dequantized as min + step·(q+128).
+func quantizeRow(src []float64, dst []int8, scale, zero []float32) {
+	for b := 0; b < len(scale); b++ {
+		lo := b * BlockDim
+		hi := lo + BlockDim
+		if hi > len(src) {
+			hi = len(src)
+		}
+		mn, mx := src[lo], src[lo]
+		for _, v := range src[lo+1 : hi] {
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		step := (mx - mn) / 255
+		scale[b] = float32(step)
+		zero[b] = float32(mn)
+		// Quantize against the float32-rounded parameters actually stored,
+		// so the error bound holds for what Gather will reconstruct.
+		s64, z64 := float64(scale[b]), float64(zero[b])
+		for k := lo; k < hi; k++ {
+			if s64 == 0 {
+				dst[k] = -128
+				continue
+			}
+			q := int((src[k]-z64)/s64 + 0.5)
+			if q < 0 {
+				q = 0
+			} else if q > 255 {
+				q = 255
+			}
+			dst[k] = int8(q - 128)
+		}
+	}
+}
+
+// Rows returns the row count.
+func (s *Store) Rows() int { return s.rows }
+
+// Dim returns the row dimensionality.
+func (s *Store) Dim() int { return s.dim }
+
+// Precision returns the storage precision.
+func (s *Store) Precision() Precision { return s.prec }
+
+// Bytes returns the payload footprint: values plus quantization parameters.
+func (s *Store) Bytes() int {
+	switch s.prec {
+	case Float64:
+		return len(s.f64) * 8
+	case Float32:
+		return len(s.f32) * 4
+	case Int8:
+		return len(s.i8) + 4*len(s.scale) + 4*len(s.zero)
+	}
+	return 0
+}
+
+// Row dequantizes row id into dst, which must hold Dim values.
+func (s *Store) Row(id int32, dst []float64) {
+	s.gatherRow(int(id), dst[:s.dim])
+}
+
+// Gather dequantizes the rows of ids into dst as one contiguous
+// len(ids)×dim block. dst must hold len(ids)*Dim values. This is the batch
+// kernels' pool-gather: one sequential write of the block, reading 8, 4 or
+// ~1.5 bytes per value depending on precision.
+func (s *Store) Gather(ids []int32, dst []float64) {
+	d := s.dim
+	_ = dst[:len(ids)*d]
+	for j, id := range ids {
+		s.gatherRow(int(id), dst[j*d:(j+1)*d])
+	}
+}
+
+func (s *Store) gatherRow(id int, dst []float64) {
+	d := s.dim
+	switch s.prec {
+	case Float64:
+		copy(dst, s.f64[id*d:(id+1)*d])
+	case Float32:
+		row := s.f32[id*d : (id+1)*d]
+		for k, v := range row {
+			dst[k] = float64(v)
+		}
+	case Int8:
+		row := s.i8[id*d : (id+1)*d]
+		nb := s.nblocks()
+		for b := 0; b < nb; b++ {
+			lo := b * BlockDim
+			hi := lo + BlockDim
+			if hi > d {
+				hi = d
+			}
+			sc := float64(s.scale[id*nb+b])
+			z := float64(s.zero[id*nb+b])
+			for k := lo; k < hi; k++ {
+				dst[k] = z + sc*float64(int(row[k])+128)
+			}
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func randRows(rows, dim int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]float64, rows*dim)
+	for i := range data {
+		data[i] = rng.NormFloat64() * 0.3
+	}
+	return data
+}
+
+func TestParsePrecision(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Precision
+	}{
+		{"", Float64}, {"float64", Float64}, {"f64", Float64},
+		{"float32", Float32}, {"f32", Float32},
+		{"int8", Int8}, {"i8", Int8},
+	}
+	for _, c := range cases {
+		got, err := ParsePrecision(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParsePrecision(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+	if _, err := ParsePrecision("bf16"); err == nil {
+		t.Fatal("ParsePrecision(bf16) should fail")
+	}
+	for _, p := range []Precision{Float64, Float32, Int8} {
+		back, err := ParsePrecision(p.String())
+		if err != nil || back != p {
+			t.Errorf("round-trip %v via %q failed: %v, %v", p, p.String(), back, err)
+		}
+	}
+}
+
+func TestFloat64StoreAliasesData(t *testing.T) {
+	data := randRows(10, 8, 1)
+	s, err := FromRows(data, 10, 8, Float64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[3*8+2] = 42
+	row := make([]float64, 8)
+	s.Row(3, row)
+	if row[2] != 42 {
+		t.Fatal("Float64 store should alias the caller's data (zero copy)")
+	}
+}
+
+// TestInt8ErrorBound verifies the per-block quantization error bound:
+// each reconstructed value is within half a quantization step of the
+// original, where the step is (max−min)/255 over its BlockDim block
+// (plus float32 rounding of the block parameters).
+func TestInt8ErrorBound(t *testing.T) {
+	const rows, dim = 64, 50 // dim not a multiple of BlockDim: exercises the tail block
+	data := randRows(rows, dim, 2)
+	s, err := FromRows(data, rows, dim, Int8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, dim)
+	for r := 0; r < rows; r++ {
+		s.Row(int32(r), got)
+		src := data[r*dim : (r+1)*dim]
+		for b := 0; b*BlockDim < dim; b++ {
+			lo := b * BlockDim
+			hi := lo + BlockDim
+			if hi > dim {
+				hi = dim
+			}
+			mn, mx := src[lo], src[lo]
+			for _, v := range src[lo:hi] {
+				mn = math.Min(mn, v)
+				mx = math.Max(mx, v)
+			}
+			step := (mx - mn) / 255
+			bound := step/2 + 1e-6*(math.Abs(mn)+step*255)
+			for k := lo; k < hi; k++ {
+				if e := math.Abs(got[k] - src[k]); e > bound {
+					t.Fatalf("row %d dim %d: |%g - %g| = %g exceeds block bound %g",
+						r, k, got[k], src[k], e, bound)
+				}
+			}
+		}
+	}
+}
+
+func TestGatherMatchesRows(t *testing.T) {
+	const rows, dim = 30, 24
+	data := randRows(rows, dim, 3)
+	for _, p := range []Precision{Float64, Float32, Int8} {
+		s, err := FromRows(data, rows, dim, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids := []int32{7, 0, 29, 7, 13}
+		block := make([]float64, len(ids)*dim)
+		s.Gather(ids, block)
+		row := make([]float64, dim)
+		for j, id := range ids {
+			s.Row(id, row)
+			for k := 0; k < dim; k++ {
+				if block[j*dim+k] != row[k] {
+					t.Fatalf("%v: Gather[%d][%d] = %g, Row = %g", p, j, k, block[j*dim+k], row[k])
+				}
+			}
+		}
+	}
+}
+
+// TestRoundTripAllPrecisions serializes and reloads each precision variant
+// and checks the reconstructed rows are identical to the original store's.
+func TestRoundTripAllPrecisions(t *testing.T) {
+	const rows, dim = 40, 33 // odd dim: exercises section padding
+	data := randRows(rows, dim, 4)
+	for _, p := range []Precision{Float64, Float32, Int8} {
+		orig, err := FromRows(data, rows, dim, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if n, err := orig.WriteTo(&buf); err != nil || n != int64(buf.Len()) {
+			t.Fatalf("%v: WriteTo = %d, %v; buffer has %d", p, n, err, buf.Len())
+		}
+		back, err := Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%v: Read: %v", p, err)
+		}
+		if back.Rows() != rows || back.Dim() != dim || back.Precision() != p {
+			t.Fatalf("%v: reloaded shape %d×%d precision %v", p, back.Rows(), back.Dim(), back.Precision())
+		}
+		a, b := make([]float64, dim), make([]float64, dim)
+		for r := 0; r < rows; r++ {
+			orig.Row(int32(r), a)
+			back.Row(int32(r), b)
+			for k := range a {
+				if a[k] != b[k] {
+					t.Fatalf("%v: row %d dim %d: %g != %g after round-trip", p, r, k, a[k], b[k])
+				}
+			}
+		}
+	}
+}
+
+func TestRejectUnknownVersion(t *testing.T) {
+	s, err := FromRows(randRows(4, 8, 5), 4, 8, Float32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	binary.LittleEndian.PutUint32(raw[8:12], 99)
+	if _, err := Read(bytes.NewReader(raw)); err == nil ||
+		!strings.Contains(err.Error(), "version 99") {
+		t.Fatalf("want unsupported-version error naming version 99, got %v", err)
+	}
+
+	raw[0] = 'X'
+	if _, err := Read(bytes.NewReader(raw)); err == nil ||
+		!strings.Contains(err.Error(), "magic") {
+		t.Fatalf("want bad-magic error, got %v", err)
+	}
+}
+
+func TestRejectTruncated(t *testing.T) {
+	s, _ := FromRows(randRows(4, 8, 6), 4, 8, Int8)
+	var buf bytes.Buffer
+	s.WriteTo(&buf)
+	if _, err := Read(bytes.NewReader(buf.Bytes()[:buf.Len()-5])); err == nil {
+		t.Fatal("truncated payload should be rejected")
+	}
+	if _, err := Read(bytes.NewReader(buf.Bytes()[:10])); err == nil {
+		t.Fatal("truncated header should be rejected")
+	}
+}
+
+// TestMmapSharedReaders writes a store to disk, opens it twice (two
+// independent mmap readers over one file), and checks both see identical
+// rows while each can be closed independently.
+func TestMmapSharedReaders(t *testing.T) {
+	const rows, dim = 50, 32
+	data := randRows(rows, dim, 7)
+	for _, p := range []Precision{Float64, Float32, Int8} {
+		orig, err := FromRows(data, rows, dim, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "ent."+p.String()+".kgs")
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := orig.WriteTo(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		r1, err := Open(path)
+		if err != nil {
+			t.Fatalf("%v: first Open: %v", p, err)
+		}
+		r2, err := Open(path)
+		if err != nil {
+			t.Fatalf("%v: second Open: %v", p, err)
+		}
+		want, a, b := make([]float64, dim), make([]float64, dim), make([]float64, dim)
+		for r := 0; r < rows; r++ {
+			orig.Row(int32(r), want)
+			r1.Row(int32(r), a)
+			r2.Row(int32(r), b)
+			for k := range want {
+				if a[k] != want[k] || b[k] != want[k] {
+					t.Fatalf("%v: row %d dim %d: readers %g/%g, want %g", p, r, k, a[k], b[k], want[k])
+				}
+			}
+		}
+		// Closing one reader must not disturb the other.
+		if err := r1.Close(); err != nil {
+			t.Fatal(err)
+		}
+		r2.Row(3, b)
+		orig.Row(3, want)
+		if b[0] != want[0] {
+			t.Fatalf("%v: second reader corrupted after first Close", p)
+		}
+		if err := r2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBytesFootprint(t *testing.T) {
+	const rows, dim = 100, 64
+	data := randRows(rows, dim, 8)
+	f64, _ := FromRows(data, rows, dim, Float64)
+	f32, _ := FromRows(data, rows, dim, Float32)
+	i8, _ := FromRows(data, rows, dim, Int8)
+	if f64.Bytes() != rows*dim*8 || f32.Bytes() != rows*dim*4 {
+		t.Fatalf("float footprints: %d, %d", f64.Bytes(), f32.Bytes())
+	}
+	wantI8 := rows*dim + rows*(dim/BlockDim)*8
+	if i8.Bytes() != wantI8 {
+		t.Fatalf("int8 footprint %d, want %d", i8.Bytes(), wantI8)
+	}
+	if ratio := float64(f64.Bytes()) / float64(i8.Bytes()); ratio < 4 {
+		t.Fatalf("int8 should be ≥4× smaller than float64, got %.2f×", ratio)
+	}
+}

@@ -1,0 +1,53 @@
+package kgc
+
+import "kgeval/internal/kgc/store"
+
+// TileFor picks the batch-kernel candidate tile for a (pool size, dim,
+// precision) shape. The tile is the number of gathered candidate rows kept
+// hot across the queries of a chunk: too small wastes the amortization (each
+// pool row is re-read per tile sweep), too large spills the tile out of L1
+// and every query re-streams it from L2/memory.
+//
+// The table below holds measured-good values from the tile sweep in
+// BenchmarkScoreDotBatchTile (64-query chunk, 800-candidate pool — the
+// planner's default shape); shapes between rows use the nearest dim bucket.
+// Mid-range tiles measure within noise of each other on that sweep — what
+// the table really encodes is avoiding the measured cliffs: tiles below 8
+// under-use the four-row unrolled fast path once dim ≥ 256, and tiles past
+// ~32 KB of block rows spill L1 and regress wide dims. Out-of-table dims
+// fall back to sizing the tile to that 32 KB budget, clamped to [4, 64] and
+// rounded to a multiple of 4 to keep the unrolled fast path busy.
+// Precision selects the same entries today — the kernels always stream a
+// dequantized float64 block, so the resident set is precision-independent —
+// but it is part of the key so an int8-native kernel can retune without an
+// API change.
+func TileFor(pool, dim int, prec store.Precision) int {
+	_ = prec
+	var tile int
+	switch {
+	case dim <= 0:
+		return defaultTile
+	case dim <= 48:
+		tile = 48
+	case dim <= 96:
+		tile = 16
+	case dim <= 160:
+		tile = 16
+	case dim <= 320:
+		tile = 8
+	default:
+		tile = 32768 / (dim * 8)
+		tile -= tile % 4
+	}
+	if tile < 4 {
+		tile = 4
+	}
+	if tile > 64 {
+		tile = 64
+	}
+	// A tile larger than the pool is just the pool; no need to exceed it.
+	if pool > 0 && tile > pool {
+		tile = pool
+	}
+	return tile
+}

@@ -1,0 +1,37 @@
+package kgc
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkScoreDotBatchTile sweeps the kernel tile across embedding widths
+// on a pool/chunk shape matching the evaluation planner's defaults (64
+// queries, 800 candidates — n_s = 10% of an 8k-entity graph). TileFor's
+// lookup table is maintained against this sweep: re-run it after kernel
+// changes and move the table entries to the fastest tile per dim.
+func BenchmarkScoreDotBatchTile(b *testing.B) {
+	const nq, nc = 64, 800
+	rng := rand.New(rand.NewSource(11))
+	for _, dim := range []int{32, 64, 128, 256, 512} {
+		qs := randVec(rng, nq*dim)
+		block := randVec(rng, nc*dim)
+		out := make([]float64, nq*nc)
+		for _, tile := range []int{4, 8, 16, 24, 32, 48, 64} {
+			b.Run(fmt.Sprintf("dim%d/tile%d", dim, tile), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					scoreDotBatch(qs, block, dim, nc, out, tile)
+				}
+			})
+		}
+	}
+}
+
+func randVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}

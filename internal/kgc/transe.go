@@ -10,9 +10,10 @@ import (
 // TransE (Bordes et al. 2013) models a relation as a translation in
 // embedding space: score(h, r, t) = −‖h + r − t‖₁.
 type TransE struct {
-	dim int
-	ent *table
-	rel *table
+	dim    int
+	ent    *table
+	rel    *table
+	stores entStores
 }
 
 // NewTransE initializes a TransE model for the graph.
@@ -76,13 +77,16 @@ func (m *TransE) ScoreHeads(r, t int32, cands []int32, out []float64) {
 	}
 }
 
-// ScoreTailsBatch scores (hs[i], r, cands[j]) into out[i*len(cands)+j],
-// gathering the candidate rows into one contiguous block per call and
-// reusing it for every query in the batch.
-func (m *TransE) ScoreTailsBatch(hs []int32, r int32, cands []int32, out []float64) {
-	block := m.ent.gather(cands)
+// Universal batch-lane contract (see scoring.go): tail queries are h+r,
+// head queries t−r (score = -||h - (t - r)||), scored by the L1 kernel.
+
+func (m *TransE) entityTable() *table      { return m.ent }
+func (m *TransE) entityStores() *entStores { return &m.stores }
+func (m *TransE) entityBias() *table       { return nil }
+func (m *TransE) singleViaBatch() bool     { return false }
+
+func (m *TransE) buildTailQueries(hs []int32, r int32, qs []float64, _ *scratch) {
 	rv := m.rel.vec(r)
-	qs := make([]float64, len(hs)*m.dim)
 	for i, h := range hs {
 		hv := m.ent.vec(h)
 		q := qs[i*m.dim : (i+1)*m.dim]
@@ -90,22 +94,21 @@ func (m *TransE) ScoreTailsBatch(hs []int32, r int32, cands []int32, out []float
 			q[k] = hv[k] + rv[k]
 		}
 	}
-	scoreL1Batch(qs, block, m.dim, len(cands), out)
 }
 
-// ScoreHeadsBatch scores (cands[j], r, ts[i]) into out[i*len(cands)+j].
-func (m *TransE) ScoreHeadsBatch(ts []int32, r int32, cands []int32, out []float64) {
-	block := m.ent.gather(cands)
+func (m *TransE) buildHeadQueries(ts []int32, r int32, qs []float64, _ *scratch) {
 	rv := m.rel.vec(r)
-	qs := make([]float64, len(ts)*m.dim)
 	for i, t := range ts {
 		tv := m.ent.vec(t)
 		q := qs[i*m.dim : (i+1)*m.dim]
 		for k := range q {
-			q[k] = tv[k] - rv[k] // score = -||h - (t - r)||
+			q[k] = tv[k] - rv[k]
 		}
 	}
-	scoreL1Batch(qs, block, m.dim, len(cands), out)
+}
+
+func (m *TransE) kernel(qs, block []float64, nc int, out []float64, tile int) {
+	scoreL1Batch(qs, block, m.dim, nc, out, tile)
 }
 
 // gradStep: d(−‖h+r−t‖₁)/dh_i = −sign(h_i+r_i−t_i), etc.

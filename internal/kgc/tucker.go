@@ -12,10 +12,11 @@ import (
 // makes every gradient step O(d³), so experiments keep TuckER's d smaller
 // than the diagonal models', as the original does (d_r ≪ d_e).
 type TuckER struct {
-	dim  int
-	ent  *table
-	rel  *table
-	core *table // single row of d³ weights
+	dim    int
+	ent    *table
+	rel    *table
+	core   *table // single row of d³ weights
+	stores entStores
 }
 
 // NewTuckER initializes a TuckER model.
@@ -37,10 +38,35 @@ func (m *TuckER) defaultLoss() Loss { return LossLogistic }
 func (m *TuckER) reciprocal() bool  { return false }
 func (m *TuckER) numRelations() int { return len(m.rel.w) / m.dim }
 
-// contractHR computes q_k = Σ_ij W[i][j][k]·h_i·r_j.
-func (m *TuckER) contractHR(hv, rv []float64, q []float64) {
+// relMatInto computes M_r[i*d+k] = Σ_j r_j·W[i][j][k] — the core tensor
+// contracted with the relation once. Every query of the relation then needs
+// only an O(d²) product with M_r: tails use q = hᵀM_r, heads q = M_r·t.
+// This factorization is what makes TuckER's batch lane pay the O(d³)
+// contraction once per relation chunk instead of once per query.
+func (m *TuckER) relMatInto(rv, mat []float64) {
 	d := m.dim
 	w := m.core.vec(0)
+	for i := range mat {
+		mat[i] = 0
+	}
+	for i := 0; i < d; i++ {
+		out := mat[i*d : i*d+d]
+		for j := 0; j < d; j++ {
+			rj := rv[j]
+			if rj == 0 {
+				continue
+			}
+			row := w[(i*d+j)*d : (i*d+j)*d+d]
+			for k := range out {
+				out[k] += rj * row[k]
+			}
+		}
+	}
+}
+
+// tailQuery computes q = hᵀM_r (q_k = Σ_i h_i·M_r[i][k]).
+func tailQuery(hv, mat, q []float64) {
+	d := len(q)
 	for k := range q {
 		q[k] = 0
 	}
@@ -49,42 +75,51 @@ func (m *TuckER) contractHR(hv, rv []float64, q []float64) {
 		if hi == 0 {
 			continue
 		}
-		for j := 0; j < d; j++ {
-			c := hi * rv[j]
-			row := w[(i*d+j)*d : (i*d+j)*d+d]
-			for k := 0; k < d; k++ {
-				q[k] += c * row[k]
-			}
+		row := mat[i*d : i*d+d]
+		for k := range q {
+			q[k] += hi * row[k]
 		}
 	}
 }
 
-// contractRT computes q_i = Σ_jk W[i][j][k]·r_j·t_k.
-func (m *TuckER) contractRT(rv, tv []float64, q []float64) {
-	d := m.dim
-	w := m.core.vec(0)
+// headQuery computes q = M_r·t (q_i = Σ_k M_r[i][k]·t_k).
+func headQuery(tv, mat, q []float64) {
+	d := len(q)
 	for i := 0; i < d; i++ {
-		s := 0.0
-		for j := 0; j < d; j++ {
-			rj := rv[j]
-			row := w[(i*d+j)*d : (i*d+j)*d+d]
-			s += rj * dot(row, tv)
-		}
-		q[i] = s
+		q[i] = dot(mat[i*d:i*d+d], tv)
 	}
+}
+
+// relMat returns M_r, from the scratch cache when it already holds this
+// relation (one contraction serves a whole relation chunk: batch queries,
+// true-triple scores and both directions).
+func (m *TuckER) relMat(r int32, sc *scratch) []float64 {
+	d := m.dim
+	if sc == nil {
+		mat := make([]float64, d*d)
+		m.relMatInto(m.rel.vec(r), mat)
+		return mat
+	}
+	if sc.relMatOK && sc.relMatR == r && len(sc.relMat) == d*d {
+		return sc.relMat
+	}
+	sc.relMat = growF64(sc.relMat, d*d)
+	m.relMatInto(m.rel.vec(r), sc.relMat)
+	sc.relMatR, sc.relMatOK = r, true
+	return sc.relMat
 }
 
 // ScoreTriple returns W ×₁ h ×₂ r ×₃ t.
 func (m *TuckER) ScoreTriple(h, r, t int32) float64 {
 	q := make([]float64, m.dim)
-	m.contractHR(m.ent.vec(h), m.rel.vec(r), q)
+	tailQuery(m.ent.vec(h), m.relMat(r, nil), q)
 	return dot(q, m.ent.vec(t))
 }
 
 // ScoreTails contracts the core with (h, r) once, then dots per candidate.
 func (m *TuckER) ScoreTails(h, r int32, cands []int32, out []float64) {
 	q := make([]float64, m.dim)
-	m.contractHR(m.ent.vec(h), m.rel.vec(r), q)
+	tailQuery(m.ent.vec(h), m.relMat(r, nil), q)
 	for c, cand := range cands {
 		out[c] = dot(q, m.ent.vec(cand))
 	}
@@ -93,10 +128,39 @@ func (m *TuckER) ScoreTails(h, r int32, cands []int32, out []float64) {
 // ScoreHeads contracts the core with (r, t) once, then dots per candidate.
 func (m *TuckER) ScoreHeads(r, t int32, cands []int32, out []float64) {
 	q := make([]float64, m.dim)
-	m.contractRT(m.rel.vec(r), m.ent.vec(t), q)
+	headQuery(m.ent.vec(t), m.relMat(r, nil), q)
 	for c, cand := range cands {
 		out[c] = dot(q, m.ent.vec(cand))
 	}
+}
+
+// Universal batch-lane contract (see scoring.go). singleViaBatch is on:
+// the model's own per-query methods recompute the O(d³) core contraction
+// per call, while the routed path reuses the chunk's cached M_r.
+
+func (m *TuckER) entityTable() *table      { return m.ent }
+func (m *TuckER) entityStores() *entStores { return &m.stores }
+func (m *TuckER) entityBias() *table       { return nil }
+func (m *TuckER) singleViaBatch() bool     { return true }
+
+func (m *TuckER) buildTailQueries(hs []int32, r int32, qs []float64, sc *scratch) {
+	d := m.dim
+	mat := m.relMat(r, sc)
+	for i, h := range hs {
+		tailQuery(m.ent.vec(h), mat, qs[i*d:(i+1)*d])
+	}
+}
+
+func (m *TuckER) buildHeadQueries(ts []int32, r int32, qs []float64, sc *scratch) {
+	d := m.dim
+	mat := m.relMat(r, sc)
+	for i, t := range ts {
+		headQuery(m.ent.vec(t), mat, qs[i*d:(i+1)*d])
+	}
+}
+
+func (m *TuckER) kernel(qs, block []float64, nc int, out []float64, tile int) {
+	scoreDotBatch(qs, block, m.dim, nc, out, tile)
 }
 
 func (m *TuckER) gradStep(h, r, t int32, coeff, lr float64) {

@@ -10,6 +10,7 @@ import (
 	"kgeval/internal/eval"
 	"kgeval/internal/kg"
 	"kgeval/internal/kgc"
+	"kgeval/internal/kgc/store"
 	"kgeval/internal/obs"
 	"kgeval/internal/recommender"
 )
@@ -265,6 +266,9 @@ func (e *Engine) validate(spec JobSpec) error {
 	if spec.MaxQueries < 0 {
 		return errors.New("service: max_queries must be >= 0")
 	}
+	if _, err := store.ParsePrecision(spec.Precision); err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
 	return nil
 }
 
@@ -382,11 +386,17 @@ func (e *Engine) execute(j *Job) ([]string, []eval.Result, bool, error) {
 	if spec.Split == "valid" {
 		split = e.graph.Valid
 	}
+	// Validated at submission; ParsePrecision maps "" to Float64.
+	prec, err := store.ParsePrecision(spec.Precision)
+	if err != nil {
+		return nil, nil, false, err
+	}
 	opts := eval.Options{
 		Filter:     e.filter,
 		Workers:    e.cfg.EvalWorkers,
 		MaxQueries: spec.MaxQueries,
 		Seed:       spec.Seed,
+		Precision:  prec,
 		Ctx:        j.ctx,
 		Progress:   j.setProgress,
 	}

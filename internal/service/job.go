@@ -84,6 +84,11 @@ type JobSpec struct {
 	MaxQueries int `json:"max_queries,omitempty"`
 	// Seed drives candidate sampling; 0 means the engine default.
 	Seed int64 `json:"seed,omitempty"`
+	// Precision selects the embedding-store precision candidates are scored
+	// at: "float64" (default), "float32" or "int8" (store.ParsePrecision).
+	// Reduced precisions trade a bounded MRR deviation for smaller stores
+	// and faster scoring.
+	Precision string `json:"precision,omitempty"`
 }
 
 // Progress is a monotone completion counter over the job's query triples.
@@ -309,6 +314,7 @@ type Status struct {
 	Strategy    string   `json:"strategy"`
 	Recommender string   `json:"recommender,omitempty"`
 	NumSamples  int      `json:"num_samples,omitempty"`
+	Precision   string   `json:"precision,omitempty"`
 	CacheHit    bool     `json:"cache_hit"`
 	Progress    Progress `json:"progress"`
 	// ThroughputTPS and ETAMS enrich progress snapshots of running jobs:
@@ -336,6 +342,7 @@ func (j *Job) Status() Status {
 		Strategy:    j.Spec.Strategy,
 		Recommender: j.Spec.Recommender,
 		NumSamples:  j.Spec.NumSamples,
+		Precision:   j.Spec.Precision,
 		CacheHit:    j.cacheHit,
 		Progress:    j.progress,
 		Error:       j.errMsg,

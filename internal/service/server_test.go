@@ -334,6 +334,7 @@ func TestServerValidationAndNotFound(t *testing.T) {
 		{Model: ModelSpec{Name: "ComplEx", Dim: 16, Snapshot: snap}, Strategy: "Z"},
 		{Model: ModelSpec{Name: "ComplEx", Dim: 16, Snapshot: snap}, Split: "train"},
 		{Model: ModelSpec{Name: "ComplEx", Dim: 16, Snapshot: snap}, Recommender: "NotARec"},
+		{Model: ModelSpec{Name: "ComplEx", Dim: 16, Snapshot: snap}, Precision: "float16"},
 	}
 	for i, spec := range bad {
 		if code := post(spec); code != http.StatusBadRequest {
@@ -375,6 +376,40 @@ func TestServerValidationAndNotFound(t *testing.T) {
 	}
 	if health["fingerprint"] != engine.Fingerprint() {
 		t.Fatalf("healthz fingerprint = %v, want %s", health["fingerprint"], engine.Fingerprint())
+	}
+}
+
+// TestJobPrecision submits the same evaluation at every precision: each job
+// must succeed, echo its precision in Status, and land near the float64
+// reference (reduced precision is an approximation, not a different
+// protocol).
+func TestJobPrecision(t *testing.T) {
+	srv, engine := newTestServer(t, EngineConfig{Workers: 1, EvalWorkers: 2})
+	g := engine.Graph()
+	snap := snapshotModel(t, g, "DistMult", 32, 3)
+	results := map[string]float64{}
+	for _, prec := range []string{"", "float32", "int8"} {
+		st := submitJob(t, srv.URL, JobSpec{
+			Model:     ModelSpec{Name: "DistMult", Dim: 32, Seed: 3, Snapshot: snap},
+			Strategy:  "P",
+			Precision: prec,
+		})
+		if st.Precision != prec {
+			t.Errorf("submitted precision %q echoed as %q", prec, st.Precision)
+		}
+		final := waitTerminal(t, srv.URL, st.ID)
+		if final.State != StateSucceeded {
+			t.Fatalf("precision %q: state %s, error %q", prec, final.State, final.Error)
+		}
+		if final.Result == nil {
+			t.Fatalf("precision %q: no result", prec)
+		}
+		results[prec] = final.Result.MRR
+	}
+	for _, prec := range []string{"float32", "int8"} {
+		if dev := results[prec] - results[""]; dev > 0.01 || dev < -0.01 {
+			t.Errorf("%s MRR %v deviates from float64 %v", prec, results[prec], results[""])
+		}
 	}
 }
 
@@ -521,17 +556,22 @@ func TestServerMetricsEndpoint(t *testing.T) {
 // long jobs survive proxies that reap quiet connections.
 func TestServerSSEKeepalive(t *testing.T) {
 	old := sseKeepalive
-	sseKeepalive = 10 * time.Millisecond
+	sseKeepalive = 2 * time.Millisecond
 	defer func() { sseKeepalive = old }()
 
-	// One worker occupied by a slow full-protocol job keeps the target job
-	// queued — and its stream silent — while we listen for pings.
+	// One worker occupied by a stack of full-protocol jobs keeps the target
+	// job queued — and its stream silent — while we listen for pings. Several
+	// blockers (not one) because the batch lane makes a single full pass too
+	// fast to straddle even a shrunken keepalive interval.
 	srv, engine := newTestServer(t, EngineConfig{Workers: 1, EvalWorkers: 1})
 	g := engine.Graph()
-	submitJob(t, srv.URL, JobSpec{
-		Model:    ModelSpec{Name: "ComplEx", Dim: 256, Seed: 5, Snapshot: snapshotModel(t, g, "ComplEx", 256, 5)},
-		Strategy: "full",
-	})
+	blocker := snapshotModel(t, g, "ComplEx", 256, 5)
+	for i := 0; i < 4; i++ {
+		submitJob(t, srv.URL, JobSpec{
+			Model:    ModelSpec{Name: "ComplEx", Dim: 256, Seed: 5, Snapshot: blocker},
+			Strategy: "full",
+		})
+	}
 	target := submitJob(t, srv.URL, JobSpec{
 		Model:    ModelSpec{Name: "DistMult", Dim: 8, Seed: 6, Snapshot: snapshotModel(t, g, "DistMult", 8, 6)},
 		Strategy: "P", MaxQueries: 10,

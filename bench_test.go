@@ -6,6 +6,7 @@
 package kgeval
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"testing"
@@ -17,6 +18,7 @@ import (
 	"kgeval/internal/kgc"
 	"kgeval/internal/kgc/store"
 	"kgeval/internal/kp"
+	"kgeval/internal/obs/trace"
 	"kgeval/internal/recommender"
 	"kgeval/internal/synth"
 )
@@ -199,6 +201,31 @@ func benchEvalPath(b *testing.B, perQuery bool) {
 
 // BenchmarkEvaluateBatch measures the relation-grouped batch executor.
 func BenchmarkEvaluateBatch(b *testing.B) { benchEvalPath(b, false) }
+
+// BenchmarkEvaluateBatchTraced is BenchmarkEvaluateBatch with a live trace
+// span in the context, so every pass records plan-compile, pool-draw and
+// per-relation-chunk spans into a flight-recorder store. The delta against
+// BenchmarkEvaluateBatch is the tracing overhead; CI holds it under 5%.
+func BenchmarkEvaluateBatchTraced(b *testing.B) {
+	e := batchEnv(b)
+	st := trace.NewStore(4, 0)
+	for _, mc := range batchBenchModels {
+		key := fmt.Sprintf("%s/dim%d", mc.name, mc.dim)
+		m := e.models[key]
+		b.Run(key, func(b *testing.B) {
+			prov := &eval.RandomProvider{NumEntities: e.g.NumEntities, N: e.g.NumEntities / 10}
+			opts := eval.Options{Filter: e.filter, Seed: 1, MaxQueries: 512}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ctx, span := st.StartTrace(context.Background(), "bench")
+				opts.Ctx = ctx
+				eval.Evaluate(m, e.g, e.g.Test, prov, opts)
+				span.End()
+			}
+		})
+	}
+}
 
 // BenchmarkEvaluatePerQuery measures the legacy query-at-a-time executor
 // over identical pools — the baseline the batch plan is judged against.

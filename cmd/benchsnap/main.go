@@ -22,6 +22,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/exec"
 	"regexp"
@@ -38,6 +39,7 @@ const benchSchema = "kgeval-bench/v1"
 // without pulling in the multi-minute paper-table reproductions.
 const defaultPattern = "^(BenchmarkFullEvaluation|BenchmarkEstimateRandom|BenchmarkEstimateStatic|" +
 	"BenchmarkEstimateProbabilistic|BenchmarkEvaluateBatch|BenchmarkEvaluateBatchPrecision|" +
+	"BenchmarkEvaluateBatchTraced|" +
 	"BenchmarkEvaluatePerQuery|BenchmarkEstimateMany|BenchmarkLWDFit|BenchmarkBuildStatic|" +
 	"BenchmarkKPScore)$"
 
@@ -92,6 +94,13 @@ func main() {
 			os.Exit(1)
 		}
 		if *prev != "" {
+			// Committed snapshots gate timing contracts; the bare -check
+			// used on -quick smoke snapshots validates schema only, since
+			// single-iteration timings are too noisy for a 5% budget.
+			if err := checkTracedOverhead(*check); err != nil {
+				fmt.Fprintf(os.Stderr, "benchsnap: %v\n", err)
+				os.Exit(1)
+			}
 			if err := checkRegressions(*check, *prev, *tolerance); err != nil {
 				fmt.Fprintf(os.Stderr, "benchsnap: %v\n", err)
 				os.Exit(1)
@@ -245,6 +254,58 @@ func loadSnapshot(path string) (*Snapshot, error) {
 		}
 	}
 	return &s, nil
+}
+
+// tracedOverhead is the allowed fractional ns/op overhead of the traced
+// batch lane (BenchmarkEvaluateBatchTraced) over its untraced twin in the
+// same snapshot — the contract that keeps tracing on by default. The gate
+// is on the geometric mean across the model sub-benchmarks: single runs on
+// a shared/single-core machine scatter individual pairs by ±10% or more in
+// both directions, which is timer noise, while a systematic tracing cost
+// shifts the whole distribution and survives averaging.
+const tracedOverhead = 0.05
+
+// checkTracedOverhead compares each BenchmarkEvaluateBatchTraced sub-bench
+// against the matching BenchmarkEvaluateBatch one and fails if the
+// geometric-mean overhead exceeds tracedOverhead. Snapshots predating the
+// traced lane (no such benchmarks) pass silently.
+func checkTracedOverhead(path string) error {
+	s, err := loadSnapshot(path)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	base := make(map[string]float64)
+	for _, b := range s.Benchmarks {
+		if rest, ok := strings.CutPrefix(b.Name, "BenchmarkEvaluateBatch/"); ok {
+			base[rest] = b.NsPerOp
+		}
+	}
+	var logSum float64
+	compared := 0
+	for _, b := range s.Benchmarks {
+		rest, ok := strings.CutPrefix(b.Name, "BenchmarkEvaluateBatchTraced/")
+		if !ok {
+			continue
+		}
+		was, ok := base[rest]
+		if !ok {
+			continue
+		}
+		compared++
+		logSum += math.Log(b.NsPerOp / was)
+		fmt.Printf("  traced/%s: %.0f vs %.0f ns/op (%+.1f%%)\n",
+			rest, b.NsPerOp, was, 100*(b.NsPerOp/was-1))
+	}
+	if compared == 0 {
+		return nil
+	}
+	mean := math.Exp(logSum/float64(compared)) - 1
+	fmt.Printf("%s: tracing overhead %+.1f%% geomean over %d benchmarks (limit %+.0f%%)\n",
+		path, 100*mean, compared, 100*tracedOverhead)
+	if mean > tracedOverhead {
+		return fmt.Errorf("tracing overhead %+.1f%% geomean exceeds %.0f%%", 100*mean, 100*tracedOverhead)
+	}
+	return nil
 }
 
 // guardPrefix limits the regression guard to the batch-lane benchmarks: they

@@ -11,9 +11,14 @@
 // results in the job output.
 //
 // Observability: GET /metrics serves the Prometheus text exposition (eval
-// stage histograms, job latency histograms, queue and cache counters);
-// -pprof additionally mounts net/http/pprof under /debug/pprof/. Logs are
-// structured (log/slog); -log-level selects the threshold.
+// stage histograms with trace-ID exemplars, job latency histograms, queue,
+// cache and runtime counters); every submitted job is traced end to end
+// through the internal/obs/trace flight recorder — read a job's span tree
+// at GET /v1/jobs/{id}/trace (?format=chrome for chrome://tracing), browse
+// retained traces under GET /debug/traces, and jobs slower than -slow-job-ms
+// dump their trace into the log. -pprof additionally mounts net/http/pprof
+// under /debug/pprof/. Logs are structured (log/slog); -log-level selects
+// the threshold (debug includes per-request access logs).
 //
 // Usage:
 //
@@ -23,9 +28,12 @@
 // API walkthrough (see README.md for a complete curl session):
 //
 //	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/readyz
 //	curl -s -X POST localhost:8080/v1/jobs -d @job.json
 //	curl -s localhost:8080/v1/jobs/j000001
 //	curl -N localhost:8080/v1/jobs/j000001/stream
+//	curl -s localhost:8080/v1/jobs/j000001/trace
+//	curl -s localhost:8080/debug/traces
 //	curl -s -X POST localhost:8080/v1/jobs/j000001/cancel
 //	curl -s localhost:8080/metrics
 //	go tool pprof "localhost:8080/debug/pprof/profile?seconds=10"
@@ -40,8 +48,11 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"kgeval/internal/kg"
+	"kgeval/internal/obs"
+	"kgeval/internal/obs/trace"
 	"kgeval/internal/service"
 	"kgeval/internal/synth"
 )
@@ -59,6 +70,12 @@ func main() {
 		seed        = flag.Int64("seed", 1, "default seed for sampling and recommender fitting")
 		logLevel    = flag.String("log-level", "info", "log threshold: debug, info, warn or error")
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+
+		slowJobMS     = flag.Int("slow-job-ms", 30000, "dump the full trace of jobs running longer than this to the log (0 = off)")
+		traceStore    = flag.Int("trace-store", trace.DefaultStoreTraces, "retained traces in the flight-recorder store")
+		traceSpans    = flag.Int("trace-spans", trace.DefaultTraceSpans, "span records retained per trace")
+		chunkSample   = flag.Int("trace-chunk-sample", 1, "record a span every Nth relation chunk (1 = all, negative = none)")
+		runtimeSample = flag.Duration("runtime-sample", 10*time.Second, "runtime gauge sampling interval (0 = off)")
 	)
 	flag.Parse()
 
@@ -91,6 +108,11 @@ func main() {
 		"graph", g.Name, "entities", g.NumEntities, "relations", g.NumRelations,
 		"train", len(g.Train), "valid", len(g.Valid), "test", len(g.Test))
 
+	if *runtimeSample > 0 {
+		stop := obs.StartRuntimeSampler(obs.Default, *runtimeSample)
+		defer stop()
+	}
+
 	engine, err := service.NewEngine(service.EngineConfig{
 		Graph:             g,
 		Workers:           *workers,
@@ -99,6 +121,9 @@ func main() {
 		CacheSize:         *cacheSize,
 		DefaultNumSamples: *ns,
 		DefaultSeed:       *seed,
+		Traces:            trace.NewStore(*traceStore, *traceSpans),
+		SlowJob:           time.Duration(*slowJobMS) * time.Millisecond,
+		TraceChunkSample:  *chunkSample,
 	})
 	if err != nil {
 		fatal(logger, "starting engine", err)

@@ -15,12 +15,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"kgeval/internal/eval"
 	"kgeval/internal/kg"
 	"kgeval/internal/kgc"
+	"kgeval/internal/obs/trace"
 	"kgeval/internal/recommender"
 )
 
@@ -99,16 +101,28 @@ func New(rec recommender.Recommender, numSamples int, seed int64) *Framework {
 // concurrent callers are serialized, so racing requests for the same
 // Framework perform the preprocessing exactly once.
 func (f *Framework) Fit(g *kg.Graph) error {
+	return f.FitCtx(context.Background(), g)
+}
+
+// FitCtx is Fit with trace context: when ctx carries a span, the one-time
+// preprocessing records a "framework.fit" child span (recommender name,
+// whether this call actually fitted or found the graph already fitted), so
+// job traces show when they paid the Fit cost versus rode the cache.
+func (f *Framework) FitCtx(ctx context.Context, g *kg.Graph) error {
+	span := trace.FromContext(ctx).Child("framework.fit")
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.graph == g {
+		span.End(trace.String("recommender", f.Rec.Name()), trace.Bool("already_fitted", true))
 		return nil
 	}
 	if err := f.Rec.Fit(g); err != nil {
+		span.End(trace.String("error", err.Error()))
 		return fmt.Errorf("core: fitting %s: %w", f.Rec.Name(), err)
 	}
 	f.graph = g
 	f.sets = recommender.BuildStatic(f.Rec.Scores(), g, recommender.DefaultStaticOpts())
+	span.End(trace.String("recommender", f.Rec.Name()), trace.Bool("already_fitted", false))
 	return nil
 }
 

@@ -36,6 +36,7 @@ import (
 	"kgeval/internal/kg"
 	"kgeval/internal/kgc"
 	"kgeval/internal/kgc/store"
+	"kgeval/internal/obs/trace"
 )
 
 // Metrics are the standard filtered ranking metrics.
@@ -123,7 +124,19 @@ type Options struct {
 	// Ctx, when non-nil, allows cancelling an evaluation mid-pass. On
 	// cancellation Evaluate returns early with metrics computed over the
 	// queries completed so far (Result.Queries reflects the partial count).
+	//
+	// Ctx also carries the trace span, if any (obs/trace.ContextWith): when
+	// present, the pass records a span tree under it — plan compile, pool
+	// draw, one pass span per model, and per-relation-chunk child spans with
+	// relation/pool/precision/tile attributes. Without a span in Ctx the
+	// tracing call sites reduce to nil-pointer checks.
 	Ctx context.Context
+	// TraceChunkSample throttles per-chunk span recording on traced passes:
+	// 0 or 1 records every batch task (the default — a task is tens of
+	// queries, so this is cheap), N > 1 records every Nth task, and a
+	// negative value disables chunk spans while keeping the pass-level
+	// spans. Irrelevant when Ctx carries no trace.
+	TraceChunkSample int
 	// Progress, when non-nil, is invoked after each evaluated triple with
 	// the number of triples completed and the total. It is called
 	// concurrently from worker goroutines and must be safe for that.
@@ -167,6 +180,7 @@ func Evaluate(m kgc.Model, g *kg.Graph, split []kg.Triple, provider CandidatePro
 		opts.Filter = kg.NewFilterIndex(g.Train, g.Valid, g.Test)
 	}
 	queries := subsample(split, opts)
+	traceID := trace.FromContext(opts.Ctx).TraceID()
 	start := time.Now()
 	p := newPlan(queries, provider, opts)
 	var done atomic.Int64
@@ -174,8 +188,8 @@ func Evaluate(m kgc.Model, g *kg.Graph, split []kg.Triple, provider CandidatePro
 	res.Elapsed = time.Since(start)
 	res.Stages.PlanCompile = p.compileTime
 	res.Stages.PoolDraw = p.poolTime
-	observePlan(p)
-	observePass(res)
+	observePlan(p, traceID)
+	observePass(res, traceID)
 	return res
 }
 
@@ -195,8 +209,9 @@ func EvaluateMany(ms []kgc.Model, g *kg.Graph, split []kg.Triple, provider Candi
 		opts.Filter = kg.NewFilterIndex(g.Train, g.Valid, g.Test)
 	}
 	queries := subsample(split, opts)
+	traceID := trace.FromContext(opts.Ctx).TraceID()
 	p := newPlan(queries, provider, opts)
-	observePlan(p)
+	observePlan(p, traceID)
 	results := make([]Result, len(ms))
 	var done atomic.Int64
 	total := len(ms) * len(queries)
@@ -211,7 +226,7 @@ func EvaluateMany(ms []kgc.Model, g *kg.Graph, split []kg.Triple, provider Candi
 		// the same one-time compile/draw cost alongside its own scoring.
 		results[i].Stages.PlanCompile = p.compileTime
 		results[i].Stages.PoolDraw = p.poolTime
-		observePass(results[i])
+		observePass(results[i], traceID)
 	}
 	return results
 }

@@ -9,6 +9,7 @@ import (
 
 	"kgeval/internal/kg"
 	"kgeval/internal/kgc"
+	"kgeval/internal/obs/trace"
 )
 
 // relGroup is the unit of the relation-grouped execution plan: all queries
@@ -79,6 +80,10 @@ type plan struct {
 // executions (batch or per-query, one model or many) with the same Seed see
 // identical pools.
 func newPlan(queries []kg.Triple, provider CandidateProvider, opts Options) *plan {
+	// On traced passes the compile span covers all of newPlan, with the
+	// 2·|R| pool draws as a child — mirroring how compileTime/poolTime are
+	// split in Result.Stages.
+	compileSpan := trace.FromContext(opts.Ctx).Child("eval.plan_compile")
 	start := time.Now()
 	counts := map[int32]int{}
 	for _, q := range queries {
@@ -113,8 +118,12 @@ func newPlan(queries []kg.Triple, provider CandidateProvider, opts Options) *pla
 		g.headPool = provider.Candidates(g.r, false, rng)
 	}
 	p.poolTime = time.Since(drawStart)
+	compileSpan.ChildRecord("eval.pool_draw", drawStart, drawStart.Add(p.poolTime),
+		trace.Int("pools", 2*len(p.groups)), trace.String("provider", provider.Name()))
 	p.chunk()
 	p.compileTime = time.Since(start) - p.poolTime
+	compileSpan.End(trace.Int("relations", len(p.groups)), trace.Int("tasks", len(p.tasks)),
+		trace.Int("queries", len(queries)), trace.Int("max_pool", p.maxPool))
 	return p
 }
 
@@ -185,6 +194,10 @@ type taskBufs struct {
 // EvaluateMany). Elapsed and the plan-level Stages are left for the caller
 // to fill.
 func runPass(m kgc.Model, p *plan, opts Options, progressTotal int, done *atomic.Int64) Result {
+	pass := trace.FromContext(opts.Ctx).Child("eval.pass",
+		trace.String("model", m.Name()), trace.Int("dim", m.Dim()),
+		trace.String("precision", opts.Precision.String()))
+	passStart := time.Now()
 	// Unprocessed queries (cancelled mid-pass) leave their rank at 0, which
 	// metricsFromRanks skips; processed ranks are always >= 1.
 	ranks := make([]float64, 2*len(p.queries))
@@ -195,11 +208,23 @@ func runPass(m kgc.Model, p *plan, opts Options, progressTotal int, done *atomic
 		runPerQuery(m, p, opts, progressTotal, done, &scored, &clock, ranks)
 	} else {
 		tile = kgc.TileFor(p.maxPool, m.Dim(), opts.Precision)
-		runBatch(m, p, opts, tile, progressTotal, done, &scored, &clock, ranks)
+		runBatch(m, p, opts, tile, progressTotal, done, &scored, &clock, ranks, pass)
 	}
 	res := Result{Metrics: metricsFromRanks(ranks), CandidatesScored: scored.Load()}
 	res.Stages.Score, res.Stages.RankMerge = clock.timings()
 	res.Stages.KernelTile = tile
+	if pass != nil {
+		// Score and rank_merge are CPU time summed across workers (see
+		// StageTimings), not wall intervals; they are rendered as synthetic
+		// spans anchored at the pass start so their widths compare directly,
+		// and tagged so readers don't mistake them for wall clock.
+		pass.ChildRecord("eval.score", passStart, passStart.Add(res.Stages.Score),
+			trace.String("timing", "cpu-summed"))
+		pass.ChildRecord("eval.rank_merge", passStart, passStart.Add(res.Stages.RankMerge),
+			trace.String("timing", "cpu-summed"))
+		pass.End(trace.Int("queries", res.Queries), trace.Int64("candidates_scored", res.CandidatesScored),
+			trace.Int("tile", tile), trace.Bool("per_query", opts.PerQuery))
+	}
 	return res
 }
 
@@ -209,7 +234,7 @@ func runPass(m kgc.Model, p *plan, opts Options, progressTotal int, done *atomic
 // store-backed scorer carries per-scorer scratch (gathered block, query
 // rows) that is reused across that worker's tasks but is not safe to share
 // between goroutines.
-func runBatch(m kgc.Model, p *plan, opts Options, tile int, progressTotal int, done, scored *atomic.Int64, clock *stageClock, ranks []float64) {
+func runBatch(m kgc.Model, p *plan, opts Options, tile int, progressTotal int, done, scored *atomic.Int64, clock *stageClock, ranks []float64, pass *trace.Span) {
 	var cancel <-chan struct{}
 	if opts.Ctx != nil {
 		cancel = opts.Ctx.Done()
@@ -218,6 +243,7 @@ func runBatch(m kgc.Model, p *plan, opts Options, tile int, progressTotal int, d
 	if nw > len(p.tasks) {
 		nw = len(p.tasks)
 	}
+	sample := opts.TraceChunkSample
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < nw; w++ {
@@ -240,7 +266,14 @@ func runBatch(m kgc.Model, p *plan, opts Options, tile int, progressTotal int, d
 					default:
 					}
 				}
-				local += runTask(bs, p, p.tasks[ti], opts, progressTotal, done, clock, ranks, &bufs)
+				// Chunk spans are sampled by task index so the Nth-task
+				// selection is deterministic regardless of which worker
+				// draws the task.
+				chunkSpan := pass
+				if sample < 0 || (sample > 1 && ti%sample != 0) {
+					chunkSpan = nil
+				}
+				local += runTask(bs, p, p.tasks[ti], opts, tile, progressTotal, done, clock, ranks, &bufs, chunkSpan)
 			}
 		}()
 	}
@@ -250,12 +283,32 @@ func runBatch(m kgc.Model, p *plan, opts Options, tile int, progressTotal int, d
 // runTask ranks one chunk of a relation group in both directions. The true
 // triple is scored through the same single-triple code paths the per-query
 // executor uses, so the two executors are bit-identical. Section timings
-// land in clock at task granularity — two timed sections per direction —
-// keeping the instrumentation overhead far below one timestamp per query.
-func runTask(bs kgc.BatchScorer, p *plan, t batchTask, opts Options, progressTotal int, done *atomic.Int64, clock *stageClock, ranks []float64, bufs *taskBufs) int64 {
+// accumulate locally and land in clock once per task — two timed sections
+// per direction — keeping the instrumentation overhead far below one
+// timestamp per query. When pass is non-nil the task also records itself as
+// one completed "eval.chunk" child span carrying the relation, pool sizes,
+// precision, kernel tile and its stage split.
+func runTask(bs kgc.BatchScorer, p *plan, t batchTask, opts Options, tile int, progressTotal int, done *atomic.Int64, clock *stageClock, ranks []float64, bufs *taskBufs, pass *trace.Span) int64 {
 	g := t.group
 	idx := g.idx[t.lo:t.hi]
 	nq := len(idx)
+	var chunkStart time.Time
+	if pass != nil {
+		chunkStart = time.Now()
+	}
+	var scoreNS, rankNS int64
+	defer func() {
+		clock.scoreNS.Add(scoreNS)
+		clock.rankNS.Add(rankNS)
+		if pass != nil {
+			pass.ChildRecord("eval.chunk", chunkStart, time.Now(),
+				trace.Int("relation", int(g.r)), trace.Int("queries", nq),
+				trace.Int("pool_tail", len(g.tailPool)), trace.Int("pool_head", len(g.headPool)),
+				trace.String("precision", opts.Precision.String()), trace.Int("tile", tile),
+				trace.Bool("direct", g.direct),
+				trace.Int64("score_ns", scoreNS), trace.Int64("rank_ns", rankNS))
+		}
+	}()
 
 	if g.direct {
 		// Pool too large to amortize an embedding gather: score each query
@@ -263,7 +316,6 @@ func runTask(bs kgc.BatchScorer, p *plan, t batchTask, opts Options, progressTot
 		// to the legacy executor), splitting scoring from rank counting so
 		// the stage breakdown still holds under the full protocol.
 		var n int64
-		var scoreNS, rankNS int64
 		for _, qi := range idx {
 			q := p.queries[qi]
 
@@ -291,8 +343,6 @@ func runTask(bs kgc.BatchScorer, p *plan, t batchTask, opts Options, progressTot
 				opts.Progress(int(d), progressTotal)
 			}
 		}
-		clock.scoreNS.Add(scoreNS)
-		clock.rankNS.Add(rankNS)
 		return n
 	}
 
@@ -312,14 +362,14 @@ func runTask(bs kgc.BatchScorer, p *plan, t batchTask, opts Options, progressTot
 		q := p.queries[qi]
 		trues[i] = bs.ScoreTriple(q.H, q.R, q.T)
 	}
-	clock.scoreNS.Add(int64(time.Since(scoreStart)))
+	scoreNS += int64(time.Since(scoreStart))
 
 	rankStart := time.Now()
 	for i, qi := range idx {
 		q := p.queries[qi]
 		ranks[2*qi] = rankScores(q.T, trues[i], g.tailPool, scores[i*nc:(i+1)*nc], opts.Filter.Tails(q.H, q.R))
 	}
-	clock.rankNS.Add(int64(time.Since(rankStart)))
+	rankNS += int64(time.Since(rankStart))
 	n := int64(nq) * int64(nc)
 
 	scoreStart = time.Now()
@@ -333,14 +383,14 @@ func runTask(bs kgc.BatchScorer, p *plan, t batchTask, opts Options, progressTot
 	for i, qi := range idx {
 		trues[i] = scoreHeadOne(bs, p.queries[qi])
 	}
-	clock.scoreNS.Add(int64(time.Since(scoreStart)))
+	scoreNS += int64(time.Since(scoreStart))
 
 	rankStart = time.Now()
 	for i, qi := range idx {
 		q := p.queries[qi]
 		ranks[2*qi+1] = rankScores(q.H, trues[i], g.headPool, scores[i*hc:(i+1)*hc], opts.Filter.Heads(q.R, q.T))
 	}
-	clock.rankNS.Add(int64(time.Since(rankStart)))
+	rankNS += int64(time.Since(rankStart))
 	n += int64(nq) * int64(hc)
 
 	for range idx {

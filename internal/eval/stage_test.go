@@ -68,9 +68,9 @@ func TestParallelEvalHammersCounters(t *testing.T) {
 	filter := kg.NewFilterIndex(g.Train, g.Valid, g.Test)
 	prov := &RandomProvider{NumEntities: g.NumEntities, N: 15}
 
-	passesBefore := passesTotal.Value()
-	queriesBefore := queriesTotal.Value()
-	candidatesBefore := candidatesTotal.Value()
+	passesBefore := instruments.passesTotal.Value()
+	queriesBefore := instruments.queriesTotal.Value()
+	candidatesBefore := instruments.candidatesTotal.Value()
 
 	const passes = 8
 	var wg sync.WaitGroup
@@ -90,16 +90,16 @@ func TestParallelEvalHammersCounters(t *testing.T) {
 		wantQueries += int64(r.Queries)
 		wantCandidates += r.CandidatesScored
 	}
-	if got := passesTotal.Value() - passesBefore; got != passes {
+	if got := instruments.passesTotal.Value() - passesBefore; got != passes {
 		t.Fatalf("passes counter advanced by %d, want %d", got, passes)
 	}
-	if got := queriesTotal.Value() - queriesBefore; got != wantQueries {
+	if got := instruments.queriesTotal.Value() - queriesBefore; got != wantQueries {
 		t.Fatalf("queries counter advanced by %d, want %d", got, wantQueries)
 	}
-	if got := candidatesTotal.Value() - candidatesBefore; got != wantCandidates {
+	if got := instruments.candidatesTotal.Value() - candidatesBefore; got != wantCandidates {
 		t.Fatalf("candidates counter advanced by %d, want %d", got, wantCandidates)
 	}
-	if snap := stageScore.Snapshot(); snap.Count < passes {
+	if snap := instruments.stageScore.Snapshot(); snap.Count < passes {
 		t.Fatalf("score stage histogram has %d observations, want >= %d", snap.Count, passes)
 	}
 }

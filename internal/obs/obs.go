@@ -111,6 +111,17 @@ type Histogram struct {
 	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
 	count  atomic.Int64
 	sum    atomic.Uint64 // float64 bits, CAS-added
+	// exemplar is the most recent trace-linked observation; exposed in the
+	// exposition with OpenMetrics `# {trace_id="..."}` syntax so a
+	// histogram's tail can be chased to the trace that produced it.
+	exemplar atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one histogram observation to the trace it came from.
+type Exemplar struct {
+	Value   float64   `json:"value"`
+	TraceID string    `json:"trace_id"`
+	Time    time.Time `json:"time"`
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -142,10 +153,36 @@ func (h *Histogram) Observe(v float64) {
 }
 
 // ObserveSince records the seconds elapsed since t0 and returns the duration.
+//
+// Callers on per-observation paths must hold the resolved *Histogram
+// handle, not re-look it up through Registry.Histogram each time: the
+// labeled-series lookup takes the registry lock and allocates the
+// canonical label signature, which dwarfs the observation itself.
 func (h *Histogram) ObserveSince(t0 time.Time) time.Duration {
 	d := time.Since(t0)
 	h.Observe(d.Seconds())
 	return d
+}
+
+// ObserveExemplar records v and stores (v, traceID, now) as the
+// histogram's exemplar. An empty traceID observes without touching the
+// exemplar, so call sites need not branch on whether tracing was active.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	if traceID != "" {
+		h.exemplar.Store(&Exemplar{Value: v, TraceID: traceID, Time: time.Now()})
+	}
+}
+
+// LastExemplar returns the most recent trace-linked observation, or nil.
+func (h *Histogram) LastExemplar() *Exemplar {
+	if h == nil {
+		return nil
+	}
+	return h.exemplar.Load()
 }
 
 // Start opens a timing span ending in the histogram.

@@ -84,16 +84,29 @@ func writeSeries(w io.Writer, name string, k kind, s *series) error {
 		return err
 	case kindHistogram:
 		snap := s.h.Snapshot()
+		// The exemplar annotates the bucket its value falls into, in
+		// OpenMetrics syntax: `... # {trace_id="..."} value timestamp`.
+		ex := s.h.LastExemplar()
+		exBucket := -1
+		if ex != nil {
+			exBucket = len(snap.Bounds) // +Inf by default
+			for i, b := range snap.Bounds {
+				if ex.Value <= b {
+					exBucket = i
+					break
+				}
+			}
+		}
 		cum := int64(0)
 		for i, b := range snap.Bounds {
 			cum += snap.Counts[i]
 			le := append(append([]Label(nil), s.labels...), Label{"le", formatFloat(b)})
-			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, labelString(le), cum); err != nil {
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", name, labelString(le), cum, exemplarSuffix(ex, exBucket == i)); err != nil {
 				return err
 			}
 		}
 		inf := append(append([]Label(nil), s.labels...), Label{"le", "+Inf"})
-		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, labelString(inf), snap.Count); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", name, labelString(inf), snap.Count, exemplarSuffix(ex, exBucket == len(snap.Bounds))); err != nil {
 			return err
 		}
 		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, labelString(s.labels), formatFloat(snap.Sum)); err != nil {
@@ -138,6 +151,17 @@ func escapeHelp(v string) string {
 
 func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// exemplarSuffix renders the OpenMetrics exemplar annotation for the
+// bucket line the exemplar belongs to, or "" elsewhere.
+func exemplarSuffix(ex *Exemplar, here bool) string {
+	if ex == nil || !here {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=\"%s\"} %s %s",
+		escapeLabel(ex.TraceID), formatFloat(ex.Value),
+		strconv.FormatFloat(float64(ex.Time.UnixNano())/1e9, 'f', 3, 64))
 }
 
 // Handler serves the registries' metrics over HTTP — the GET /metrics

@@ -4,6 +4,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestWritePrometheusGolden pins the full exposition format: family
@@ -75,6 +76,90 @@ func TestWritePrometheusMergesRegistries(t *testing.T) {
 			t.Fatalf("missing %q in:\n%s", line, got)
 		}
 	}
+}
+
+// TestWritePrometheusExemplar checks that a histogram's last exemplar is
+// rendered in OpenMetrics syntax on exactly the bucket its value falls
+// into, and nowhere when no exemplar was recorded.
+func TestWritePrometheusExemplar(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("ex_seconds", "", []float64{0.1, 1})
+	h.Observe(0.05)
+
+	var plain strings.Builder
+	if err := WritePrometheus(&plain, r); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), "trace_id") {
+		t.Fatalf("exemplar emitted without one recorded:\n%s", plain.String())
+	}
+
+	h.ObserveExemplar(0.5, "0123456789abcdef0123456789abcdef")
+	var out strings.Builder
+	if err := WritePrometheus(&out, r); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if strings.Count(got, "trace_id") != 1 {
+		t.Fatalf("want exactly one exemplar annotation:\n%s", got)
+	}
+	var exLine string
+	for _, line := range strings.Split(got, "\n") {
+		if strings.Contains(line, "trace_id") {
+			exLine = line
+		}
+	}
+	if !strings.HasPrefix(exLine, `ex_seconds_bucket{le="1"} 2 # {trace_id="0123456789abcdef0123456789abcdef"} 0.5 `) {
+		t.Fatalf("exemplar on wrong bucket or malformed: %q", exLine)
+	}
+
+	// A value above every bound annotates the +Inf bucket.
+	h.ObserveExemplar(42, "ffff0000ffff0000ffff0000ffff0000")
+	out.Reset()
+	if err := WritePrometheus(&out, r); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(out.String(), "\n") {
+		if strings.Contains(line, "trace_id") && !strings.Contains(line, `le="+Inf"`) {
+			t.Fatalf("exemplar for out-of-range value not on +Inf: %q", line)
+		}
+	}
+
+	// Empty trace ID observes without replacing the stored exemplar.
+	h.ObserveExemplar(0.2, "")
+	if ex := h.LastExemplar(); ex == nil || ex.TraceID != "ffff0000ffff0000ffff0000ffff0000" {
+		t.Fatalf("empty-ID observe clobbered exemplar: %+v", ex)
+	}
+}
+
+// TestRuntimeSampler checks the sampler populates its gauges synchronously
+// on start and that stop terminates the goroutine.
+func TestRuntimeSampler(t *testing.T) {
+	r := NewRegistry()
+	stop := StartRuntimeSampler(r, time.Hour)
+	defer stop()
+
+	var out strings.Builder
+	if err := WritePrometheus(&out, r); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, name := range []string{
+		"kgeval_runtime_goroutines",
+		"kgeval_runtime_heap_alloc_bytes",
+		"kgeval_runtime_heap_objects",
+		"kgeval_runtime_gc_pause_total_seconds",
+		"kgeval_runtime_gc_runs_total",
+		"kgeval_runtime_next_gc_bytes",
+	} {
+		if !strings.Contains(got, name+" ") {
+			t.Fatalf("missing %s in:\n%s", name, got)
+		}
+	}
+	if g := r.Gauge("kgeval_runtime_heap_alloc_bytes", ""); g.Value() <= 0 {
+		t.Fatalf("heap_alloc_bytes = %v, want > 0", g.Value())
+	}
+	stop() // idempotent: the deferred second call must not panic
 }
 
 func TestHandler(t *testing.T) {

@@ -1,0 +1,89 @@
+package trace
+
+import "sort"
+
+// ChromeEvent is one entry of the Chrome trace_event format ("X" complete
+// events), loadable in chrome://tracing and Perfetto.
+type ChromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`  // microseconds since trace start
+	Dur   float64        `json:"dur"` // microseconds
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace is the top-level chrome://tracing JSON document.
+type ChromeTrace struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// Chrome converts the trace snapshot to Chrome trace_event form. The
+// viewer nests "X" events on one thread lane by time containment, which
+// breaks for spans that overlap without nesting (concurrent relation
+// chunks from different workers); overlapping spans are therefore spread
+// greedily across synthetic lanes — each span takes the first lane that is
+// free at its start — so every span renders at full width.
+func (t Trace) Chrome() ChromeTrace {
+	// Spans arrive sorted by start (Snapshot's contract); sort defensively
+	// for hand-built traces.
+	spans := append([]SpanRecord(nil), t.Spans...)
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+
+	out := ChromeTrace{DisplayTimeUnit: "ms", TraceEvents: make([]ChromeEvent, 0, len(spans))}
+	if len(spans) == 0 {
+		return out
+	}
+	origin := t.Start
+	if spans[0].Start.Before(origin) {
+		origin = spans[0].Start
+	}
+	// laneEnd[i] is the time lane i frees up, in µs since origin.
+	var laneEnd []float64
+	for _, s := range spans {
+		ts := float64(s.Start.Sub(origin)) / 1e3
+		dur := float64(s.End.Sub(s.Start)) / 1e3
+		if dur < 0 {
+			dur = 0
+		}
+		lane := -1
+		for i, end := range laneEnd {
+			if end <= ts {
+				lane = i
+				break
+			}
+		}
+		if lane < 0 {
+			lane = len(laneEnd)
+			laneEnd = append(laneEnd, 0)
+		}
+		laneEnd[lane] = ts + dur
+
+		args := map[string]any{"span_id": s.SpanID}
+		if s.Parent != "" {
+			args["parent_id"] = s.Parent
+		}
+		for _, a := range s.Attrs {
+			args[a.Key] = a.Value
+		}
+		out.TraceEvents = append(out.TraceEvents, ChromeEvent{
+			Name: s.Name, Cat: "kgeval", Phase: "X",
+			TS: ts, Dur: dur, PID: 1, TID: lane, Args: args,
+		})
+		// Events become zero-duration instant markers on the same lane.
+		for _, ev := range s.Events {
+			evArgs := map[string]any{"span_id": s.SpanID}
+			for _, a := range ev.Attrs {
+				evArgs[a.Key] = a.Value
+			}
+			out.TraceEvents = append(out.TraceEvents, ChromeEvent{
+				Name: ev.Name, Cat: "kgeval", Phase: "i",
+				TS: float64(ev.Time.Sub(origin)) / 1e3, PID: 1, TID: lane, Args: evArgs,
+			})
+		}
+	}
+	return out
+}

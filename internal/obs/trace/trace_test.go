@@ -1,0 +1,259 @@
+package trace
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeParentage(t *testing.T) {
+	store := NewStore(4, 64)
+	ctx, root := store.StartTrace(context.Background(), "request", String("method", "POST"))
+	if root == nil {
+		t.Fatal("StartTrace returned nil root")
+	}
+	if root.TraceID() == "" {
+		t.Fatal("root has no trace ID")
+	}
+
+	ctx2, job := StartSpan(ctx, "job", String("id", "j1"))
+	if job == nil {
+		t.Fatal("StartSpan under a traced context returned nil")
+	}
+	if FromContext(ctx2) != job {
+		t.Fatal("returned context does not carry the child span")
+	}
+	_, queue := StartSpan(ctx2, "queue-wait")
+	queue.End()
+	job.Event("cache.hit", String("key", "k"))
+	job.ChildRecord("chunk", time.Now().Add(-time.Millisecond), time.Now(), Int("relation", 7))
+	job.End(String("state", "succeeded"))
+	root.End()
+
+	rec, ok := store.Get(root.TraceID())
+	if !ok {
+		t.Fatalf("trace %s not found in store", root.TraceID())
+	}
+	tr := rec.Snapshot()
+	if len(tr.Spans) != 4 {
+		t.Fatalf("got %d spans, want 4: %+v", len(tr.Spans), tr.Spans)
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range tr.Spans {
+		if s.TraceID != root.TraceID() {
+			t.Fatalf("span %s carries trace %s, want %s", s.Name, s.TraceID, root.TraceID())
+		}
+		byName[s.Name] = s
+	}
+	rootRec := byName["request"]
+	if rootRec.Parent != "" {
+		t.Fatalf("root has parent %q", rootRec.Parent)
+	}
+	if byName["job"].Parent != rootRec.SpanID {
+		t.Fatal("job is not a child of request")
+	}
+	if byName["queue-wait"].Parent != byName["job"].SpanID {
+		t.Fatal("queue-wait is not a child of job")
+	}
+	if byName["chunk"].Parent != byName["job"].SpanID {
+		t.Fatal("chunk record is not a child of job")
+	}
+	if v, ok := byName["chunk"].Attr("relation").(int); !ok || v != 7 {
+		t.Fatalf("chunk relation attr = %v", byName["chunk"].Attr("relation"))
+	}
+	if len(byName["job"].Events) != 1 || byName["job"].Events[0].Name != "cache.hit" {
+		t.Fatalf("job events = %+v", byName["job"].Events)
+	}
+	if got := byName["job"].Attr("state"); got != "succeeded" {
+		t.Fatalf("End attrs not recorded: state = %v", got)
+	}
+}
+
+func TestNilSpanIsSafe(t *testing.T) {
+	var s *Span
+	s.SetAttrs(String("k", "v"))
+	s.Event("e")
+	s.ChildRecord("c", time.Now(), time.Now())
+	s.End()
+	if s.Child("c") != nil {
+		t.Fatal("nil span produced a live child")
+	}
+	if s.TraceID() != "" {
+		t.Fatal("nil span has a trace ID")
+	}
+	ctx, sp := StartSpan(context.Background(), "x")
+	if sp != nil || FromContext(ctx) != nil {
+		t.Fatal("StartSpan without a trace in context must be a no-op")
+	}
+	if FromContext(nil) != nil {
+		t.Fatal("FromContext(nil) must return nil")
+	}
+	var store *Store
+	if _, root := store.StartTrace(context.Background(), "x"); root != nil {
+		t.Fatal("nil store produced a root span")
+	}
+}
+
+// TestRecorderRingEviction fills a small flight recorder past capacity and
+// checks that only the most recent records survive, with the overflow
+// counted in Dropped.
+func TestRecorderRingEviction(t *testing.T) {
+	store := NewStore(2, 8)
+	_, root := store.StartTrace(context.Background(), "big")
+	for i := 0; i < 20; i++ {
+		t0 := time.Unix(0, int64(i)*int64(time.Millisecond))
+		root.ChildRecord(fmt.Sprintf("chunk-%02d", i), t0, t0.Add(time.Millisecond))
+	}
+	root.End()
+
+	tr := store.Traces()[0].Snapshot()
+	if len(tr.Spans) != 8 {
+		t.Fatalf("ring retained %d spans, want 8", len(tr.Spans))
+	}
+	if tr.Dropped != 13 { // 20 chunks + 1 root - 8 retained
+		t.Fatalf("Dropped = %d, want 13", tr.Dropped)
+	}
+	// The survivors must be the newest chunk records (and the root, which
+	// ended last); chronological order by start.
+	for i := 1; i < len(tr.Spans); i++ {
+		if tr.Spans[i].Start.Before(tr.Spans[i-1].Start) {
+			t.Fatalf("spans not chronological at %d: %v after %v", i, tr.Spans[i].Start, tr.Spans[i-1].Start)
+		}
+	}
+	if tr.Spans[0].Name != "chunk-13" {
+		t.Fatalf("oldest retained span = %s, want chunk-13", tr.Spans[0].Name)
+	}
+	retained, total := store.Traces()[0].SpanCount()
+	if retained != 8 || total != 21 {
+		t.Fatalf("SpanCount = (%d, %d), want (8, 21)", retained, total)
+	}
+}
+
+// TestStoreEviction checks the FIFO bound on retained traces.
+func TestStoreEviction(t *testing.T) {
+	store := NewStore(3, 16)
+	var ids []string
+	for i := 0; i < 5; i++ {
+		_, root := store.StartTrace(context.Background(), fmt.Sprintf("t%d", i))
+		ids = append(ids, root.TraceID())
+		root.End()
+	}
+	if store.Len() != 3 {
+		t.Fatalf("store retains %d traces, want 3", store.Len())
+	}
+	for _, id := range ids[:2] {
+		if _, ok := store.Get(id); ok {
+			t.Fatalf("evicted trace %s still resolvable", id)
+		}
+	}
+	for _, id := range ids[2:] {
+		if _, ok := store.Get(id); !ok {
+			t.Fatalf("recent trace %s was evicted", id)
+		}
+	}
+	recent := store.Traces()
+	if len(recent) != 3 || recent[0].TraceID() != ids[4] {
+		t.Fatalf("Traces() not newest-first: %v", recent)
+	}
+	if _, ok := store.Get("not-a-trace-id"); ok {
+		t.Fatal("garbage ID resolved")
+	}
+	if _, ok := store.Get(""); ok {
+		t.Fatal("empty ID resolved")
+	}
+}
+
+// TestConcurrentSpanHammer creates spans, events and chunk records from
+// many goroutines against one trace while snapshots are taken — the -race
+// gate on the recorder's synchronization.
+func TestConcurrentSpanHammer(t *testing.T) {
+	store := NewStore(2, 512)
+	ctx, root := store.StartTrace(context.Background(), "hammer")
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_, s := StartSpan(ctx, fmt.Sprintf("w%d-%d", w, i), Int("i", i))
+				s.Event("tick")
+				s.ChildRecord("chunk", time.Now(), time.Now(), Int("w", w))
+				s.End(Int("done", i))
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			_ = root.Recorder().Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	root.End()
+
+	_, total := root.Recorder().SpanCount()
+	if want := int64(workers*50*2 + 1); total != want {
+		t.Fatalf("recorded %d spans, want %d", total, want)
+	}
+}
+
+func TestChromeExport(t *testing.T) {
+	store := NewStore(1, 64)
+	_, root := store.StartTrace(context.Background(), "req")
+	base := time.Now()
+	// Two overlapping children must land on different lanes; a third that
+	// starts after the first ends may reuse lane 0's successor slots.
+	root.ChildRecord("a", base, base.Add(10*time.Millisecond))
+	root.ChildRecord("b", base.Add(2*time.Millisecond), base.Add(8*time.Millisecond), Int("pool", 100))
+	root.ChildRecord("c", base.Add(12*time.Millisecond), base.Add(14*time.Millisecond))
+	root.End()
+
+	ct := store.Traces()[0].Snapshot().Chrome()
+	if ct.DisplayTimeUnit != "ms" {
+		t.Fatalf("DisplayTimeUnit = %q", ct.DisplayTimeUnit)
+	}
+	byName := map[string]ChromeEvent{}
+	for _, ev := range ct.TraceEvents {
+		if ev.Phase != "X" {
+			continue
+		}
+		byName[ev.Name] = ev
+		if ev.Dur < 0 {
+			t.Fatalf("event %s has negative duration", ev.Name)
+		}
+	}
+	if len(byName) != 4 {
+		t.Fatalf("got %d complete events, want 4", len(byName))
+	}
+	if byName["a"].TID == byName["b"].TID {
+		t.Fatal("overlapping spans a and b share a lane")
+	}
+	if byName["b"].Args["pool"] != 100 {
+		t.Fatalf("attrs not exported: %v", byName["b"].Args)
+	}
+	if byName["a"].TS > byName["b"].TS || byName["b"].TS > byName["c"].TS {
+		t.Fatal("timestamps not monotone with span starts")
+	}
+}
+
+func TestIDUniqueness(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 10000; i++ {
+		id := newSpanID().String()
+		if seen[id] {
+			t.Fatalf("duplicate span ID %s after %d draws", id, i)
+		}
+		seen[id] = true
+	}
+	if newTraceID().IsZero() {
+		t.Fatal("fresh trace ID is zero")
+	}
+	if (SpanID{}).String() != "" {
+		t.Fatal("zero span ID must render empty (root parent)")
+	}
+}

@@ -2,10 +2,12 @@ package service
 
 import (
 	"container/list"
+	"context"
 	"sync"
 	"sync/atomic"
 
 	"kgeval/internal/core"
+	"kgeval/internal/obs/trace"
 )
 
 // CacheKey identifies a fitted Framework: the graph contents (via
@@ -60,25 +62,36 @@ func NewFrameworkCache(capacity int) *FrameworkCache {
 
 // Get returns the framework for key, building it with build on a miss. The
 // second return reports whether the call was served by an existing (possibly
-// still in-flight) entry.
-func (c *FrameworkCache) Get(key CacheKey, build func() (*core.Framework, error)) (*core.Framework, bool, error) {
+// still in-flight) entry. When ctx carries a trace span, the cache outcome
+// (hit, miss, or single-flight join) lands on it as an event, annotating the
+// caller's trace with why it did or didn't pay the Fit cost.
+func (c *FrameworkCache) Get(ctx context.Context, key CacheKey, build func() (*core.Framework, error)) (*core.Framework, bool, error) {
+	span := trace.FromContext(ctx)
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.hits++
 		e := el.Value.(*cacheEntry)
+		joined := false
 		select {
 		case <-e.ready:
 		default:
 			// Joining a build still in flight: this caller's Fit was
 			// deduplicated, the single-flight win the cache exists for.
 			c.singleFlight++
+			joined = true
 		}
 		c.ll.MoveToFront(el)
 		c.mu.Unlock()
+		if joined {
+			span.Event("cache.singleflight_join", trace.String("recommender", key.Recommender))
+		} else {
+			span.Event("cache.hit", trace.String("recommender", key.Recommender))
+		}
 		<-e.ready
 		return e.fw, true, e.err
 	}
 	c.misses++
+	span.Event("cache.miss", trace.String("recommender", key.Recommender))
 	e := &cacheEntry{key: key, ready: make(chan struct{})}
 	el := c.ll.PushFront(e)
 	c.entries[key] = el

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -32,7 +33,7 @@ func TestCacheSingleFlight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			fw, hit, err := c.Get(key, fwBuilder(&builds, 20*time.Millisecond))
+			fw, hit, err := c.Get(context.Background(), key, fwBuilder(&builds, 20*time.Millisecond))
 			if err != nil {
 				t.Error(err)
 			}
@@ -77,7 +78,7 @@ func TestCacheLRUEviction(t *testing.T) {
 	var builds atomic.Int64
 	get := func(graph string) {
 		t.Helper()
-		if _, _, err := c.Get(CacheKey{Graph: graph}, fwBuilder(&builds, 0)); err != nil {
+		if _, _, err := c.Get(context.Background(), CacheKey{Graph: graph}, fwBuilder(&builds, 0)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -108,11 +109,11 @@ func TestCacheErrorNotCached(t *testing.T) {
 	c := NewFrameworkCache(2)
 	key := CacheKey{Graph: "g"}
 	boom := errors.New("fit failed")
-	if _, _, err := c.Get(key, func() (*core.Framework, error) { return nil, boom }); !errors.Is(err, boom) {
+	if _, _, err := c.Get(context.Background(), key, func() (*core.Framework, error) { return nil, boom }); !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want %v", err, boom)
 	}
 	var builds atomic.Int64
-	fw, hit, err := c.Get(key, fwBuilder(&builds, 0))
+	fw, hit, err := c.Get(context.Background(), key, fwBuilder(&builds, 0))
 	if err != nil || fw == nil {
 		t.Fatalf("retry after failed build: fw=%v err=%v", fw, err)
 	}

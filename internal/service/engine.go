@@ -2,9 +2,13 @@ package service
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
+	"time"
 
 	"kgeval/internal/core"
 	"kgeval/internal/eval"
@@ -12,6 +16,7 @@ import (
 	"kgeval/internal/kgc"
 	"kgeval/internal/kgc/store"
 	"kgeval/internal/obs"
+	"kgeval/internal/obs/trace"
 	"kgeval/internal/recommender"
 )
 
@@ -43,6 +48,19 @@ type EngineConfig struct {
 	// nil the engine creates a private registry, so several engines in one
 	// process never share counters; read it back via Engine.Metrics().
 	Metrics *obs.Registry
+	// Traces is the flight-recorder store jobs record their span trees
+	// into. When nil the engine creates one with the trace package's
+	// defaults (256 traces × 4096 spans); read it back via Engine.Traces().
+	Traces *trace.Store
+	// SlowJob, when > 0, is the run-time threshold beyond which a finished
+	// job dumps its full trace through slog at Warn level — the "why was
+	// that one slow" record survives in the logs even after the trace store
+	// evicts it.
+	SlowJob time.Duration
+	// TraceChunkSample is passed through to eval.Options.TraceChunkSample:
+	// 0 or 1 records a span per relation chunk on traced jobs, N > 1 every
+	// Nth chunk, negative none.
+	TraceChunkSample int
 }
 
 // ErrQueueFull is returned by Submit when the job queue is saturated.
@@ -65,6 +83,7 @@ type Engine struct {
 	wg      sync.WaitGroup
 	reg     *obs.Registry
 	metrics *engineMetrics
+	traces  *trace.Store
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -106,6 +125,9 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	if cfg.Metrics == nil {
 		cfg.Metrics = obs.NewRegistry()
 	}
+	if cfg.Traces == nil {
+		cfg.Traces = trace.NewStore(0, 0)
+	}
 	e := &Engine{
 		cfg:    cfg,
 		graph:  cfg.Graph,
@@ -116,6 +138,7 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		quit:   make(chan struct{}),
 		jobs:   map[string]*Job{},
 		reg:    cfg.Metrics,
+		traces: cfg.Traces,
 	}
 	e.metrics = newEngineMetrics(e.reg, e)
 	for i := 0; i < cfg.Workers; i++ {
@@ -135,9 +158,34 @@ func (e *Engine) Fingerprint() string { return e.fp }
 // it (together with obs.Default) on a /metrics endpoint.
 func (e *Engine) Metrics() *obs.Registry { return e.reg }
 
+// Traces returns the flight-recorder store the engine's jobs record into —
+// the backing of the /debug/traces and /v1/jobs/{id}/trace endpoints.
+func (e *Engine) Traces() *trace.Store { return e.traces }
+
+// Accepting reports whether Submit can currently succeed: the engine is
+// open and the queue has room. This is the readiness signal behind
+// GET /readyz.
+func (e *Engine) Accepting() bool {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	return !closed && len(e.queue) < cap(e.queue)
+}
+
 // Submit validates the spec, registers a job and enqueues it. The job is
 // returned in state queued (or, under races, already beyond it).
 func (e *Engine) Submit(spec JobSpec) (*Job, error) {
+	return e.SubmitCtx(context.Background(), spec)
+}
+
+// SubmitCtx is Submit with trace continuity: when ctx carries a span (the
+// HTTP request span), the job's span becomes its child, so the trace runs
+// request → job → evaluation. Without one, the job starts a fresh root
+// trace in the engine's store — every job is traceable regardless of entry
+// point. ctx is used only for trace parentage; the job's own lifetime is
+// governed by its cancellation, not the (typically short-lived) caller
+// context.
+func (e *Engine) SubmitCtx(ctx context.Context, spec JobSpec) (*Job, error) {
 	spec = e.withDefaults(spec)
 	if err := e.validate(spec); err != nil {
 		e.metrics.jobsRejected.Inc()
@@ -150,7 +198,14 @@ func (e *Engine) Submit(spec JobSpec) (*Job, error) {
 		return nil, ErrClosed
 	}
 	e.nextID++
-	j := newJob(fmt.Sprintf("j%06d", e.nextID), spec)
+	id := fmt.Sprintf("j%06d", e.nextID)
+	span := trace.FromContext(ctx).Child("job")
+	if span == nil {
+		_, span = e.traces.StartTrace(context.Background(), "job")
+	}
+	span.SetAttrs(trace.String("job_id", id), trace.String("strategy", spec.Strategy),
+		trace.String("split", spec.Split), trace.Int("num_samples", spec.NumSamples))
+	j := newJob(id, spec, span)
 	j.metrics = e.metrics
 	// Registration and the non-blocking enqueue stay in one critical
 	// section so a queue-full rejection never rolls back another
@@ -159,6 +214,8 @@ func (e *Engine) Submit(spec JobSpec) (*Job, error) {
 	case e.queue <- j:
 	default:
 		e.metrics.jobsRejected.Inc()
+		j.queueSpan.End()
+		j.span.End(trace.String("state", "rejected"), trace.String("error", ErrQueueFull.Error()))
 		return nil, ErrQueueFull
 	}
 	e.jobs[j.ID] = j
@@ -341,6 +398,36 @@ func (e *Engine) run(j *Job) {
 	default:
 		j.succeed(results[0], cacheHit)
 	}
+	e.logSlowJob(j)
+}
+
+// logSlowJob dumps the full trace of a job whose run time exceeded the
+// SlowJob threshold through slog — the diagnosis record outlives the trace
+// store's FIFO eviction. The span tree is bounded by the store's per-trace
+// ring, so the log record is too.
+func (e *Engine) logSlowJob(j *Job) {
+	if e.cfg.SlowJob <= 0 {
+		return
+	}
+	j.mu.Lock()
+	elapsed := j.finished.Sub(j.started)
+	state := j.state
+	j.mu.Unlock()
+	if j.started.IsZero() || elapsed <= e.cfg.SlowJob {
+		return
+	}
+	attrs := []any{
+		"job", j.ID, "state", state,
+		"elapsed", elapsed, "threshold", e.cfg.SlowJob,
+	}
+	if rec := j.span.Recorder(); rec != nil {
+		tr := rec.Snapshot()
+		attrs = append(attrs, "trace_id", tr.TraceID, "spans", len(tr.Spans))
+		if buf, err := json.Marshal(tr); err == nil {
+			attrs = append(attrs, "trace", string(buf))
+		}
+	}
+	slog.Warn("slow job", attrs...)
 }
 
 // execute performs the evaluation work of one job: reconstruct the model(s)
@@ -392,13 +479,14 @@ func (e *Engine) execute(j *Job) ([]string, []eval.Result, bool, error) {
 		return nil, nil, false, err
 	}
 	opts := eval.Options{
-		Filter:     e.filter,
-		Workers:    e.cfg.EvalWorkers,
-		MaxQueries: spec.MaxQueries,
-		Seed:       spec.Seed,
-		Precision:  prec,
-		Ctx:        j.ctx,
-		Progress:   j.setProgress,
+		Filter:           e.filter,
+		Workers:          e.cfg.EvalWorkers,
+		MaxQueries:       spec.MaxQueries,
+		Seed:             spec.Seed,
+		Precision:        prec,
+		Ctx:              j.ctx,
+		Progress:         j.setProgress,
+		TraceChunkSample: e.cfg.TraceChunkSample,
 	}
 
 	if spec.Strategy == "full" {
@@ -411,13 +499,13 @@ func (e *Engine) execute(j *Job) ([]string, []eval.Result, bool, error) {
 		return nil, nil, false, err
 	}
 	key := CacheKey{Graph: e.fp, Recommender: spec.Recommender, NumSamples: spec.NumSamples}
-	fw, cacheHit, err := e.cache.Get(key, func() (*core.Framework, error) {
+	fw, cacheHit, err := e.cache.Get(j.ctx, key, func() (*core.Framework, error) {
 		rec, err := recommender.ByName(spec.Recommender, e.cfg.DefaultSeed)
 		if err != nil {
 			return nil, err
 		}
 		fw := core.New(rec, spec.NumSamples, e.cfg.DefaultSeed)
-		if err := fw.Fit(e.graph); err != nil {
+		if err := fw.FitCtx(j.ctx, e.graph); err != nil {
 			return nil, err
 		}
 		return fw, nil

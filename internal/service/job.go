@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"kgeval/internal/eval"
+	"kgeval/internal/obs/trace"
 )
 
 // State is a job's lifecycle phase. Valid transitions:
@@ -117,6 +118,13 @@ type Job struct {
 	// latency observations; nil-safe otherwise.
 	metrics *engineMetrics
 
+	// span is the job's trace span (child of the submitting request's span,
+	// or a trace root), carried by ctx into the evaluation; queueSpan times
+	// the queued→running wait under it. Both are nil-safe, so jobs created
+	// without tracing (unit tests) behave identically.
+	span      *trace.Span
+	queueSpan *trace.Span
+
 	mu       sync.Mutex
 	state    State
 	progress Progress
@@ -130,18 +138,27 @@ type Job struct {
 	subs     map[chan Event]struct{}
 }
 
-func newJob(id string, spec JobSpec) *Job {
-	ctx, cancel := context.WithCancel(context.Background())
+// newJob builds a queued job. span, when non-nil, becomes the job's trace
+// span: the job context carries it (NOT the submitting request's context —
+// the job must survive the HTTP request that created it), so the evaluation
+// pipeline parents its spans under the job.
+func newJob(id string, spec JobSpec, span *trace.Span) *Job {
+	ctx, cancel := context.WithCancel(trace.ContextWith(context.Background(), span))
 	return &Job{
-		ID:      id,
-		Spec:    spec,
-		ctx:     ctx,
-		cancel:  cancel,
-		state:   StateQueued,
-		created: time.Now(),
-		subs:    map[chan Event]struct{}{},
+		ID:        id,
+		Spec:      spec,
+		ctx:       ctx,
+		cancel:    cancel,
+		span:      span,
+		queueSpan: span.Child("queue_wait"),
+		state:     StateQueued,
+		created:   time.Now(),
+		subs:      map[chan Event]struct{}{},
 	}
 }
+
+// TraceID returns the hex trace ID of the job's trace, or "" when untraced.
+func (j *Job) TraceID() string { return j.span.TraceID() }
 
 // transition moves the job to next if the move is legal, returning whether
 // it happened. The optional onApply runs under the job lock, atomically with
@@ -163,6 +180,16 @@ func (j *Job) transition(next State, onApply func()) bool {
 	}
 	if onApply != nil {
 		onApply()
+	}
+	switch {
+	case next == StateRunning:
+		j.queueSpan.End()
+	case next.Terminal():
+		// A job cancelled while queued never ran; its queue-wait span ends
+		// here with it (End is idempotent for the common ran-then-finished
+		// path).
+		j.queueSpan.End()
+		j.span.End(trace.String("state", string(next)), trace.Bool("cache_hit", j.cacheHit))
 	}
 	j.metrics.observeTransition(next, j)
 	j.publishLocked(Event{Type: "state", State: next})
@@ -320,14 +347,19 @@ type Status struct {
 	// ThroughputTPS and ETAMS enrich progress snapshots of running jobs:
 	// evaluated triples per second since the job started, and the linear
 	// extrapolation of the time remaining. Zero until the first progress.
-	ThroughputTPS float64       `json:"throughput_tps,omitempty"`
-	ETAMS         float64       `json:"eta_ms,omitempty"`
-	Result        *ResultStatus `json:"result,omitempty"`
-	Results       []ModelResult `json:"results,omitempty"`
-	Error         string        `json:"error,omitempty"`
-	CreatedAt     time.Time     `json:"created_at"`
-	StartedAt     *time.Time    `json:"started_at,omitempty"`
-	FinishedAt    *time.Time    `json:"finished_at,omitempty"`
+	ThroughputTPS float64 `json:"throughput_tps,omitempty"`
+	ETAMS         float64 `json:"eta_ms,omitempty"`
+	// QueueWaitMS is the time the job spent (or, while still queued, has so
+	// far spent) waiting for a worker.
+	QueueWaitMS float64 `json:"queue_wait_ms,omitempty"`
+	// TraceID links the job to its trace at /v1/jobs/{id}/trace.
+	TraceID    string        `json:"trace_id,omitempty"`
+	Result     *ResultStatus `json:"result,omitempty"`
+	Results    []ModelResult `json:"results,omitempty"`
+	Error      string        `json:"error,omitempty"`
+	CreatedAt  time.Time     `json:"created_at"`
+	StartedAt  *time.Time    `json:"started_at,omitempty"`
+	FinishedAt *time.Time    `json:"finished_at,omitempty"`
 }
 
 // Status snapshots the job.
@@ -347,6 +379,16 @@ func (j *Job) Status() Status {
 		Progress:    j.progress,
 		Error:       j.errMsg,
 		CreatedAt:   j.created,
+		TraceID:     j.span.TraceID(),
+	}
+	switch {
+	case !j.started.IsZero():
+		st.QueueWaitMS = float64(j.started.Sub(j.created)) / float64(time.Millisecond)
+	case j.state == StateQueued:
+		st.QueueWaitMS = float64(time.Since(j.created)) / float64(time.Millisecond)
+	case !j.finished.IsZero():
+		// Cancelled while queued: the wait ended at cancellation.
+		st.QueueWaitMS = float64(j.finished.Sub(j.created)) / float64(time.Millisecond)
 	}
 	for _, ms := range j.Spec.Models {
 		st.Models = append(st.Models, ms.Name)

@@ -34,7 +34,7 @@ func TestJobTransitions(t *testing.T) {
 }
 
 func TestJobLifecycle(t *testing.T) {
-	j := newJob("j1", JobSpec{})
+	j := newJob("j1", JobSpec{}, nil)
 	if j.State() != StateQueued {
 		t.Fatalf("new job state = %s, want queued", j.State())
 	}
@@ -63,7 +63,7 @@ func TestJobLifecycle(t *testing.T) {
 }
 
 func TestJobCancelWhileQueued(t *testing.T) {
-	j := newJob("j1", JobSpec{})
+	j := newJob("j1", JobSpec{}, nil)
 	if !j.Cancel() {
 		t.Fatal("cancel of queued job rejected")
 	}
@@ -83,7 +83,7 @@ func TestJobCancelWhileQueued(t *testing.T) {
 }
 
 func TestJobCancelWhileRunning(t *testing.T) {
-	j := newJob("j1", JobSpec{})
+	j := newJob("j1", JobSpec{}, nil)
 	j.transition(StateRunning, nil)
 	if !j.Cancel() {
 		t.Fatal("cancel of running job rejected")
@@ -101,7 +101,7 @@ func TestJobCancelWhileRunning(t *testing.T) {
 }
 
 func TestJobSubscribeOrdering(t *testing.T) {
-	j := newJob("j1", JobSpec{})
+	j := newJob("j1", JobSpec{}, nil)
 	ch, unsub := j.Subscribe()
 	defer unsub()
 
@@ -153,7 +153,7 @@ done:
 }
 
 func TestJobSubscribeAfterTerminal(t *testing.T) {
-	j := newJob("j1", JobSpec{})
+	j := newJob("j1", JobSpec{}, nil)
 	j.Cancel()
 	ch, unsub := j.Subscribe()
 	defer unsub()

@@ -64,18 +64,20 @@ func newEngineMetrics(reg *obs.Registry, e *Engine) *engineMetrics {
 
 // observeTransition records per-state latency when a job changes state:
 // queued→running observes the queue wait; any terminal transition counts
-// the outcome and, if the job ever ran, its run time.
+// the outcome and, if the job ever ran, its run time. Observations carry
+// the job's trace ID as an OpenMetrics exemplar, so a spike in the
+// histogram links directly to the trace of a job that caused it.
 func (m *engineMetrics) observeTransition(next State, j *Job) {
 	if m == nil {
 		return
 	}
 	switch {
 	case next == StateRunning:
-		m.queueWait.Observe(j.started.Sub(j.created).Seconds())
+		m.queueWait.ObserveExemplar(j.started.Sub(j.created).Seconds(), j.TraceID())
 	case next.Terminal():
 		m.jobsDone[next].Inc()
 		if !j.started.IsZero() {
-			m.runSeconds[next].Observe(j.finished.Sub(j.started).Seconds())
+			m.runSeconds[next].ObserveExemplar(j.finished.Sub(j.started).Seconds(), j.TraceID())
 		}
 	}
 }

@@ -4,10 +4,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"time"
 
 	"kgeval/internal/obs"
+	"kgeval/internal/obs/trace"
 )
 
 // NewServer wraps an Engine in the kgevald HTTP/JSON API:
@@ -15,18 +17,27 @@ import (
 //	POST   /v1/jobs              submit a JobSpec, returns the job Status (202)
 //	GET    /v1/jobs              list job Statuses in submission order
 //	GET    /v1/jobs/{id}         one job's Status
+//	GET    /v1/jobs/{id}/trace   the job's trace (?format=chrome for chrome://tracing)
 //	GET    /v1/jobs/{id}/stream  Server-Sent Events progress stream
 //	POST   /v1/jobs/{id}/cancel  cancel a queued or running job
 //	DELETE /v1/jobs/{id}         same as cancel
 //	GET    /v1/stats             engine + cache counters
 //	GET    /metrics              Prometheus text exposition (engine + eval)
 //	GET    /healthz              liveness + host graph summary
+//	GET    /readyz               readiness (engine open and queue not full)
+//	GET    /debug/traces         retained trace summaries, newest first
+//	GET    /debug/traces/{id}    one trace by hex ID (?format=chrome)
+//
+// Every request is access-logged through slog at Debug level (Info for job
+// mutations), and POST /v1/jobs starts a trace whose span tree follows the
+// job through queue, evaluation plan and per-relation chunks.
 //
 // The handler is safe for concurrent use; all state lives in the Engine.
 func NewServer(e *Engine) http.Handler {
 	s := &server{engine: e}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	// The engine's registry carries job/queue/cache instruments; obs.Default
 	// carries the eval-layer stage histograms and throughput counters.
@@ -34,14 +45,81 @@ func NewServer(e *Engine) http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	return mux
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceByID)
+	return s.middleware(mux)
 }
 
 type server struct {
 	engine *Engine
+}
+
+// statusWriter records the response status for the access log. It forwards
+// Flush unconditionally — handleStream type-asserts http.Flusher on the
+// writer it is handed, so the wrapper must not mask the capability.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// middleware wraps the API mux with request tracing and access logging.
+// Job submissions get a root trace (so the span tree runs HTTP request →
+// job → evaluation); other endpoints are logged but not traced — tracing
+// every /metrics scrape would churn the bounded trace store with noise.
+// Access logs go through slog: scrape/health endpoints at Debug, the rest
+// at Info, so `-log-level` chooses how chatty the daemon is.
+func (s *server) middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		traceID := ""
+		if r.Method == http.MethodPost && r.URL.Path == "/v1/jobs" {
+			ctx, span := s.engine.Traces().StartTrace(r.Context(), "http "+r.Method+" "+r.URL.Path,
+				trace.String("method", r.Method), trace.String("path", r.URL.Path),
+				trace.String("remote", r.RemoteAddr))
+			if span != nil {
+				traceID = span.TraceID()
+				defer func() { span.End(trace.Int("status", sw.status)) }()
+				r = r.WithContext(ctx)
+			}
+		}
+		next.ServeHTTP(sw, r)
+
+		level := slog.LevelInfo
+		if r.Method == http.MethodGet {
+			level = slog.LevelDebug
+		}
+		attrs := []any{
+			"method", r.Method, "path", r.URL.Path,
+			"status", sw.status, "duration", time.Since(start),
+		}
+		if traceID != "" {
+			attrs = append(attrs, "trace_id", traceID)
+		}
+		slog.Default().Log(r.Context(), level, "http request", attrs...)
+	})
 }
 
 type errorBody struct {
@@ -71,8 +149,83 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleReady is the readiness probe: 200 while the engine accepts jobs,
+// 503 once it is closed or the queue is saturated — the signal a load
+// balancer uses to stop routing submissions here.
+func (s *server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if !s.engine.Accepting() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "unavailable"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.engine.Stats())
+}
+
+// traceSummary is one row of the GET /debug/traces listing.
+type traceSummary struct {
+	TraceID string    `json:"trace_id"`
+	Name    string    `json:"name"`
+	Start   time.Time `json:"start"`
+	Spans   int       `json:"spans"`
+	Total   int64     `json:"spans_total"`
+}
+
+func (s *server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	recs := s.engine.Traces().Traces()
+	out := make([]traceSummary, len(recs))
+	for i, rec := range recs {
+		retained, total := rec.SpanCount()
+		out[i] = traceSummary{
+			TraceID: rec.TraceID(), Name: rec.Name(), Start: rec.Start(),
+			Spans: retained, Total: total,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// writeTrace renders a trace snapshot as self-contained JSON, or — with
+// ?format=chrome — as a Chrome trace_event document loadable in
+// chrome://tracing or https://ui.perfetto.dev.
+func writeTrace(w http.ResponseWriter, r *http.Request, tr trace.Trace) {
+	if r.URL.Query().Get("format") == "chrome" {
+		writeJSON(w, http.StatusOK, tr.Chrome())
+		return
+	}
+	writeJSON(w, http.StatusOK, tr)
+}
+
+func (s *server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, ok := s.engine.Traces().Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no trace %q (evicted or never recorded)", id))
+		return
+	}
+	writeTrace(w, r, rec.Snapshot())
+}
+
+// handleJobTrace serves the trace of one job — the span tree from HTTP
+// submission through queue wait, plan compile, and per-relation chunks.
+// For running jobs it returns the spans completed so far.
+func (s *server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	id := j.TraceID()
+	if id == "" {
+		writeError(w, http.StatusNotFound, fmt.Errorf("job %s was not traced", j.ID))
+		return
+	}
+	rec, ok := s.engine.Traces().Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("trace %s evicted from the store", id))
+		return
+	}
+	writeTrace(w, r, rec.Snapshot())
 }
 
 // maxSubmitBytes caps a job submission body (snapshots are the bulk; the
@@ -88,7 +241,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding job spec: %w", err))
 		return
 	}
-	j, err := s.engine.Submit(spec)
+	j, err := s.engine.SubmitCtx(r.Context(), spec)
 	if err != nil {
 		code := http.StatusBadRequest
 		if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrClosed) {

@@ -1,0 +1,288 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+
+	"kgeval/internal/obs/trace"
+)
+
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(body, v); err != nil {
+			t.Fatalf("decoding %s: %v\n%s", url, err, body)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestTracePropagation submits a job over HTTP and checks the end-to-end
+// span tree: HTTP request → job → queue wait, plan compile (with pool draw
+// under it), the evaluation pass, and per-relation-chunk spans with the
+// relation/pool/precision/tile attributes. Also covers the trace endpoints
+// themselves: /v1/jobs/{id}/trace, its chrome format, and /debug/traces.
+func TestTracePropagation(t *testing.T) {
+	ts, _ := newTestServer(t, EngineConfig{Workers: 1})
+	g := serviceGraph(t)
+	snap := snapshotModel(t, g, "DistMult", 8, 6)
+	spec := JobSpec{Model: ModelSpec{Name: "DistMult", Dim: 8, Seed: 6, Snapshot: snap}, Strategy: "P", MaxQueries: 40}
+
+	st := submitJob(t, ts.URL, spec)
+	if st.TraceID == "" {
+		t.Fatal("submission Status carries no trace_id")
+	}
+	final := waitTerminal(t, ts.URL, st.ID)
+	if final.State != StateSucceeded {
+		t.Fatalf("job finished %s: %s", final.State, final.Error)
+	}
+	if final.TraceID != st.TraceID {
+		t.Fatalf("trace_id changed across status calls: %s vs %s", final.TraceID, st.TraceID)
+	}
+	if final.QueueWaitMS < 0 {
+		t.Fatalf("queue_wait_ms = %v", final.QueueWaitMS)
+	}
+
+	var tr trace.Trace
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+st.ID+"/trace", &tr); code != http.StatusOK {
+		t.Fatalf("GET job trace: %d", code)
+	}
+	if tr.TraceID != st.TraceID {
+		t.Fatalf("trace document ID %s, want %s", tr.TraceID, st.TraceID)
+	}
+
+	spans := map[string]trace.SpanRecord{}
+	chunks := 0
+	for _, s := range tr.Spans {
+		if s.Name == "eval.chunk" {
+			chunks++
+			continue
+		}
+		spans[s.Name] = s
+	}
+	root, ok := spans["http POST /v1/jobs"]
+	if !ok {
+		t.Fatalf("no HTTP root span; got %v", tr.Spans)
+	}
+	if root.Parent != "" {
+		t.Fatal("HTTP span has a parent")
+	}
+	job, ok := spans["job"]
+	if !ok || job.Parent != root.SpanID {
+		t.Fatalf("job span missing or not a child of the HTTP span: %+v", job)
+	}
+	if job.Attr("job_id") != st.ID {
+		t.Fatalf("job span job_id attr = %v, want %s", job.Attr("job_id"), st.ID)
+	}
+	queue, ok := spans["queue_wait"]
+	if !ok || queue.Parent != job.SpanID {
+		t.Fatalf("queue_wait span missing or misparented: %+v", queue)
+	}
+	compile, ok := spans["eval.plan_compile"]
+	if !ok || compile.Parent != job.SpanID {
+		t.Fatalf("plan_compile span missing or misparented: %+v", compile)
+	}
+	if pd, ok := spans["eval.pool_draw"]; !ok || pd.Parent != compile.SpanID {
+		t.Fatalf("pool_draw span missing or not under plan_compile: %+v", pd)
+	}
+	pass, ok := spans["eval.pass"]
+	if !ok || pass.Parent != job.SpanID {
+		t.Fatalf("eval.pass span missing or misparented: %+v", pass)
+	}
+	if fit, ok := spans["framework.fit"]; !ok || fit.Parent != job.SpanID {
+		t.Fatalf("framework.fit span missing or misparented: %+v", fit)
+	}
+	if chunks == 0 {
+		t.Fatal("no eval.chunk spans recorded")
+	}
+	for _, s := range tr.Spans {
+		if s.Name != "eval.chunk" {
+			continue
+		}
+		if s.Parent != pass.SpanID {
+			t.Fatalf("chunk span parented under %s, want the pass span", s.Parent)
+		}
+		for _, key := range []string{"relation", "pool_tail", "pool_head", "tile"} {
+			if _, ok := s.Attr(key).(float64); !ok { // JSON numbers decode as float64
+				t.Fatalf("chunk attr %q missing or non-numeric: %v", key, s.Attrs)
+			}
+		}
+		if s.Attr("precision") != "float64" {
+			t.Fatalf("chunk precision attr = %v", s.Attr("precision"))
+		}
+		break
+	}
+	// The cache outcome lands as an event on the job's span tree (miss on
+	// this first submission, during execute).
+	foundCacheEvent := false
+	for _, s := range tr.Spans {
+		for _, ev := range s.Events {
+			if ev.Name == "cache.miss" || ev.Name == "cache.hit" {
+				foundCacheEvent = true
+			}
+		}
+	}
+	if !foundCacheEvent {
+		t.Fatal("no cache hit/miss event in the job trace")
+	}
+
+	// Chrome export parses and contains the chunk spans.
+	var chrome trace.ChromeTrace
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+st.ID+"/trace?format=chrome", &chrome); code != http.StatusOK {
+		t.Fatalf("GET chrome trace: %d", code)
+	}
+	if len(chrome.TraceEvents) < len(tr.Spans) {
+		t.Fatalf("chrome export has %d events for %d spans", len(chrome.TraceEvents), len(tr.Spans))
+	}
+
+	// /debug/traces lists the trace; /debug/traces/{id} serves it.
+	var summaries []traceSummary
+	if code := getJSON(t, ts.URL+"/debug/traces", &summaries); code != http.StatusOK {
+		t.Fatalf("GET /debug/traces: %d", code)
+	}
+	found := false
+	for _, s := range summaries {
+		if s.TraceID == st.TraceID {
+			found = true
+			if s.Spans == 0 {
+				t.Fatal("trace summary reports zero spans")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("trace %s not in /debug/traces listing", st.TraceID)
+	}
+	if code := getJSON(t, ts.URL+"/debug/traces/"+st.TraceID, &tr); code != http.StatusOK {
+		t.Fatalf("GET /debug/traces/{id}: %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/debug/traces/ffffffffffffffffffffffffffffffff", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown trace ID returned %d, want 404", code)
+	}
+
+	// SSE events render the full Status, so every event carries the trace ID.
+	for i, ev := range readSSE(t, ts.URL+"/v1/jobs/"+st.ID+"/stream") {
+		if ev.status.TraceID != st.TraceID {
+			t.Fatalf("SSE event %d carries trace_id %q, want %q", i, ev.status.TraceID, st.TraceID)
+		}
+	}
+
+	// Exemplars: the eval stage histograms in /metrics carry the trace ID
+	// of a recent observation in OpenMetrics exemplar syntax.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	metrics := string(body)
+	if !containsExemplar(metrics, "kgeval_eval_stage_seconds_bucket") {
+		t.Fatalf("no exemplar on kgeval_eval_stage_seconds buckets:\n%.2000s", metrics)
+	}
+	if !containsExemplar(metrics, "kgeval_job_run_seconds_bucket") {
+		t.Fatal("no exemplar on kgeval_job_run_seconds buckets")
+	}
+}
+
+// containsExemplar reports whether any line starting with prefix carries an
+// OpenMetrics exemplar annotation.
+func containsExemplar(exposition, prefix string) bool {
+	for _, line := range splitLines(exposition) {
+		if len(line) > len(prefix) && line[:len(prefix)] == prefix &&
+			containsStr(line, `# {trace_id="`) {
+			return true
+		}
+	}
+	return false
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, s[start:])
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestReadyz covers the readiness endpoint: ready while the engine accepts,
+// 503 after Close.
+func TestReadyz(t *testing.T) {
+	ts, engine := newTestServer(t, EngineConfig{Workers: 1})
+	if code := getJSON(t, ts.URL+"/readyz", nil); code != http.StatusOK {
+		t.Fatalf("/readyz = %d while accepting", code)
+	}
+	engine.Close()
+	if code := getJSON(t, ts.URL+"/readyz", nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz = %d after Close, want 503", code)
+	}
+}
+
+// TestSubmitWithoutHTTPIsTraced checks the programmatic path: Submit with
+// no request span still produces a complete trace rooted at the job span.
+func TestSubmitWithoutHTTPIsTraced(t *testing.T) {
+	g := serviceGraph(t)
+	engine, err := NewEngine(EngineConfig{Graph: g, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer engine.Close()
+	snap := snapshotModel(t, g, "DistMult", 8, 6)
+	j, err := engine.Submit(JobSpec{Model: ModelSpec{Name: "DistMult", Dim: 8, Seed: 6, Snapshot: snap}, Strategy: "R", MaxQueries: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.TraceID() == "" {
+		t.Fatal("programmatic Submit produced an untraced job")
+	}
+	<-jobDone(j)
+	rec, ok := engine.Traces().Get(j.TraceID())
+	if !ok {
+		t.Fatal("job trace not in the engine store")
+	}
+	tr := rec.Snapshot()
+	names := map[string]bool{}
+	for _, s := range tr.Spans {
+		names[s.Name] = true
+	}
+	for _, want := range []string{"job", "queue_wait", "eval.plan_compile", "eval.pass", "eval.chunk"} {
+		if !names[want] {
+			t.Fatalf("trace missing %q span; have %v", want, tr.Spans)
+		}
+	}
+}
+
+// jobDone returns a channel closed when the job reaches a terminal state.
+func jobDone(j *Job) <-chan struct{} {
+	done := make(chan struct{})
+	ch, unsub := j.Subscribe()
+	go func() {
+		defer close(done)
+		defer unsub()
+		for range ch {
+		}
+	}()
+	return done
+}

@@ -11,12 +11,13 @@
 // results in the job output.
 //
 // Observability: GET /metrics serves the Prometheus text exposition (eval
-// stage histograms with trace-ID exemplars, job latency histograms, queue,
-// cache and runtime counters); every submitted job is traced end to end
-// through the internal/obs/trace flight recorder — read a job's span tree
-// at GET /v1/jobs/{id}/trace (?format=chrome for chrome://tracing), browse
-// retained traces under GET /debug/traces, and jobs slower than -slow-job-ms
-// dump their trace into the log. -pprof additionally mounts net/http/pprof
+// stage histograms, job latency histograms, queue, cache and runtime
+// counters; scrapers that negotiate OpenMetrics via the Accept header
+// additionally get trace-ID exemplars); every submitted job is traced end
+// to end through the internal/obs/trace flight recorder — read a job's
+// span tree at GET /v1/jobs/{id}/trace (?format=chrome for
+// chrome://tracing), browse retained traces under GET /debug/traces, and
+// jobs slower than -slow-job-ms log their trace ID and slowest spans. -pprof additionally mounts net/http/pprof
 // under /debug/pprof/. Logs are structured (log/slog); -log-level selects
 // the threshold (debug includes per-request access logs).
 //

@@ -19,7 +19,8 @@
 //	                      plan compile / pool draw / score / rank-merge time
 //	internal/obs          dependency-free metrics: counters, gauges, exact
 //	                      mergeable histograms, Prometheus text exposition
-//	                      with trace-ID exemplars, runtime gauges; obs/trace
+//	                      (trace-ID exemplars when OpenMetrics is
+//	                      negotiated), runtime gauges; obs/trace
 //	                      adds context-propagated spans and the bounded
 //	                      flight-recorder store behind /v1/jobs/{id}/trace
 //	internal/service      evaluation-as-a-service: job engine (single- and

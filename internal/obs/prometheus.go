@@ -10,13 +10,35 @@ import (
 )
 
 // WritePrometheus writes every metric family of the given registries in
-// the Prometheus text exposition format (version 0.0.4). Families are
-// emitted in name order with series sorted by label signature, so output
-// is deterministic for a fixed metric state. When several registries
-// define the same family name, their series are merged under one family
-// header (the first registry's help/kind wins); duplicate registry
-// pointers are collected once.
+// the Prometheus classic text exposition format (version 0.0.4). Families
+// are emitted in name order with series sorted by label signature, so
+// output is deterministic for a fixed metric state. When several
+// registries define the same family name, their series are merged under
+// one family header (the first registry's help/kind wins); duplicate
+// registry pointers are collected once.
+//
+// The classic format has no exemplar syntax — a 0.0.4 parser rejects the
+// `# {...}` bucket annotations — so this writer never emits them; use
+// WriteOpenMetrics for an exposition that carries exemplars.
 func WritePrometheus(w io.Writer, regs ...*Registry) error {
+	return writeExposition(w, false, regs...)
+}
+
+// WriteOpenMetrics writes the registries in the OpenMetrics text format
+// (version 1.0.0): the same families and series as WritePrometheus, plus
+// histogram exemplars (`# {trace_id="..."} value timestamp` on the bucket
+// the exemplar's value falls into), counter families declared without the
+// `_total` suffix as the spec requires, and the mandatory `# EOF`
+// terminator.
+func WriteOpenMetrics(w io.Writer, regs ...*Registry) error {
+	if err := writeExposition(w, true, regs...); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}
+
+func writeExposition(w io.Writer, openMetrics bool, regs ...*Registry) error {
 	type mergedFamily struct {
 		*family
 		series []*series
@@ -49,16 +71,23 @@ func WritePrometheus(w io.Writer, regs ...*Registry) error {
 		sort.Slice(mf.series, func(i, j int) bool {
 			return labelString(mf.series[i].labels) < labelString(mf.series[j].labels)
 		})
+		// In OpenMetrics a counter's samples are <family>_total while the
+		// HELP/TYPE lines name the family itself; registered names carry the
+		// conventional _total suffix, so the family header drops it.
+		famName := name
+		if openMetrics && mf.kind == kindCounter {
+			famName = strings.TrimSuffix(name, "_total")
+		}
 		if mf.help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(mf.help)); err != nil {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", famName, escapeHelp(mf.help)); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, mf.kind); err != nil {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", famName, mf.kind); err != nil {
 			return err
 		}
 		for _, s := range mf.series {
-			if err := writeSeries(w, name, mf.kind, s); err != nil {
+			if err := writeSeries(w, name, mf.kind, s, openMetrics); err != nil {
 				return err
 			}
 		}
@@ -66,7 +95,7 @@ func WritePrometheus(w io.Writer, regs ...*Registry) error {
 	return nil
 }
 
-func writeSeries(w io.Writer, name string, k kind, s *series) error {
+func writeSeries(w io.Writer, name string, k kind, s *series, openMetrics bool) error {
 	switch k {
 	case kindCounter:
 		v := s.c.Value()
@@ -84,16 +113,18 @@ func writeSeries(w io.Writer, name string, k kind, s *series) error {
 		return err
 	case kindHistogram:
 		snap := s.h.Snapshot()
-		// The exemplar annotates the bucket its value falls into, in
-		// OpenMetrics syntax: `... # {trace_id="..."} value timestamp`.
-		ex := s.h.LastExemplar()
+		// The exemplar annotates the bucket its value falls into — valid
+		// OpenMetrics only, so the classic writer skips the lookup entirely.
+		var ex *Exemplar
 		exBucket := -1
-		if ex != nil {
-			exBucket = len(snap.Bounds) // +Inf by default
-			for i, b := range snap.Bounds {
-				if ex.Value <= b {
-					exBucket = i
-					break
+		if openMetrics {
+			if ex = s.h.LastExemplar(); ex != nil {
+				exBucket = len(snap.Bounds) // +Inf by default
+				for i, b := range snap.Bounds {
+					if ex.Value <= b {
+						exBucket = i
+						break
+					}
 				}
 			}
 		}
@@ -164,11 +195,47 @@ func exemplarSuffix(ex *Exemplar, here bool) string {
 		strconv.FormatFloat(float64(ex.Time.UnixNano())/1e9, 'f', 3, 64))
 }
 
+// openMetricsContentType is what Handler advertises when the scraper
+// negotiated the OpenMetrics format.
+const openMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// acceptsOpenMetrics reports whether the Accept header asks for the
+// OpenMetrics exposition. Prometheus sends it as the preferred media type
+// (with the classic format as fallback) when exemplar storage is enabled.
+func acceptsOpenMetrics(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		fields := strings.Split(part, ";")
+		if strings.TrimSpace(fields[0]) != "application/openmetrics-text" {
+			continue
+		}
+		acceptable := true
+		for _, p := range fields[1:] {
+			if k, v, ok := strings.Cut(strings.TrimSpace(p), "="); ok && strings.TrimSpace(k) == "q" {
+				if q, err := strconv.ParseFloat(strings.TrimSpace(v), 64); err == nil && q == 0 {
+					acceptable = false
+				}
+			}
+		}
+		if acceptable {
+			return true
+		}
+	}
+	return false
+}
+
 // Handler serves the registries' metrics over HTTP — the GET /metrics
 // endpoint. Multiple registries (a server's own plus Default, where
-// library packages register) are merged into one exposition.
+// library packages register) are merged into one exposition. Clients that
+// negotiate OpenMetrics via the Accept header get the 1.0.0 format with
+// histogram exemplars; everyone else gets the classic 0.0.4 text format,
+// which has no exemplar syntax.
 func Handler(regs ...*Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if acceptsOpenMetrics(r.Header.Get("Accept")) {
+			w.Header().Set("Content-Type", openMetricsContentType)
+			WriteOpenMetrics(w, regs...) //nolint:errcheck // client went away; nothing to do
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		WritePrometheus(w, regs...) //nolint:errcheck // client went away; nothing to do
 	})

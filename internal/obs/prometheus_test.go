@@ -78,25 +78,42 @@ func TestWritePrometheusMergesRegistries(t *testing.T) {
 	}
 }
 
-// TestWritePrometheusExemplar checks that a histogram's last exemplar is
-// rendered in OpenMetrics syntax on exactly the bucket its value falls
-// into, and nowhere when no exemplar was recorded.
-func TestWritePrometheusExemplar(t *testing.T) {
+// TestWriteOpenMetricsExemplar checks that a histogram's last exemplar is
+// rendered in the OpenMetrics exposition on exactly the bucket its value
+// falls into, nowhere when no exemplar was recorded, and NEVER in the
+// classic 0.0.4 format (whose parser rejects exemplar syntax).
+func TestWriteOpenMetricsExemplar(t *testing.T) {
 	r := NewRegistry()
 	h := r.Histogram("ex_seconds", "", []float64{0.1, 1})
 	h.Observe(0.05)
 
 	var plain strings.Builder
-	if err := WritePrometheus(&plain, r); err != nil {
+	if err := WriteOpenMetrics(&plain, r); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(plain.String(), "trace_id") {
 		t.Fatalf("exemplar emitted without one recorded:\n%s", plain.String())
 	}
+	if !strings.HasSuffix(plain.String(), "# EOF\n") {
+		t.Fatalf("OpenMetrics exposition lacks the # EOF terminator:\n%s", plain.String())
+	}
 
 	h.ObserveExemplar(0.5, "0123456789abcdef0123456789abcdef")
+
+	// The classic format must stay exemplar-free even with one recorded:
+	// the 0.0.4 parser rejects any token after the sample value.
+	var classic strings.Builder
+	if err := WritePrometheus(&classic, r); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(classic.String(), "\n") {
+		if !strings.HasPrefix(line, "#") && strings.Contains(line, "#") {
+			t.Fatalf("classic 0.0.4 line carries exemplar syntax: %q", line)
+		}
+	}
+
 	var out strings.Builder
-	if err := WritePrometheus(&out, r); err != nil {
+	if err := WriteOpenMetrics(&out, r); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -116,7 +133,7 @@ func TestWritePrometheusExemplar(t *testing.T) {
 	// A value above every bound annotates the +Inf bucket.
 	h.ObserveExemplar(42, "ffff0000ffff0000ffff0000ffff0000")
 	out.Reset()
-	if err := WritePrometheus(&out, r); err != nil {
+	if err := WriteOpenMetrics(&out, r); err != nil {
 		t.Fatal(err)
 	}
 	for _, line := range strings.Split(out.String(), "\n") {
@@ -129,6 +146,36 @@ func TestWritePrometheusExemplar(t *testing.T) {
 	h.ObserveExemplar(0.2, "")
 	if ex := h.LastExemplar(); ex == nil || ex.TraceID != "ffff0000ffff0000ffff0000ffff0000" {
 		t.Fatalf("empty-ID observe clobbered exemplar: %+v", ex)
+	}
+}
+
+// TestWriteOpenMetricsCounterFamily pins the OpenMetrics counter shape:
+// the family header drops the _total suffix while samples keep it.
+func TestWriteOpenMetricsCounterFamily(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("om_requests_total", "Requests.").Add(5)
+
+	var out strings.Builder
+	if err := WriteOpenMetrics(&out, r); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"# HELP om_requests Requests.\n",
+		"# TYPE om_requests counter\n",
+		"om_requests_total 5\n",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("missing %q in:\n%s", want, got)
+		}
+	}
+	// The classic format keeps the registered name on the header lines.
+	var classic strings.Builder
+	if err := WritePrometheus(&classic, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(classic.String(), "# TYPE om_requests_total counter\n") {
+		t.Fatalf("classic TYPE line rewritten:\n%s", classic.String())
 	}
 }
 
@@ -165,12 +212,45 @@ func TestRuntimeSampler(t *testing.T) {
 func TestHandler(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("h_total", "").Inc()
+	h := r.Histogram("h_seconds", "", []float64{1})
+	h.ObserveExemplar(0.5, "0123456789abcdef0123456789abcdef")
+
+	// No Accept header → classic 0.0.4, no exemplars, no # EOF.
 	rec := httptest.NewRecorder()
 	Handler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
 	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
 		t.Fatalf("Content-Type = %q", ct)
 	}
-	if !strings.Contains(rec.Body.String(), "h_total 1") {
-		t.Fatalf("body = %q", rec.Body.String())
+	if body := rec.Body.String(); !strings.Contains(body, "h_total 1") ||
+		strings.Contains(body, "trace_id") || strings.Contains(body, "# EOF") {
+		t.Fatalf("classic body = %q", body)
+	}
+
+	// Prometheus-style Accept header negotiates OpenMetrics with exemplars.
+	rec = httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	req.Header.Set("Accept", "application/openmetrics-text;version=1.0.0;q=0.75,text/plain;version=0.0.4;q=0.5")
+	Handler(r).ServeHTTP(rec, req)
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/openmetrics-text; version=1.0.0") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if body := rec.Body.String(); !strings.Contains(body, "trace_id") || !strings.HasSuffix(body, "# EOF\n") {
+		t.Fatalf("OpenMetrics body = %q", body)
+	}
+}
+
+func TestAcceptsOpenMetrics(t *testing.T) {
+	for accept, want := range map[string]bool{
+		"": false,
+		"text/plain": false,
+		"application/openmetrics-text": true,
+		"application/openmetrics-text; version=1.0.0; q=0.8, text/plain;q=0.5": true,
+		"text/plain;q=0.5, application/openmetrics-text;version=1.0.0":         true,
+		"application/openmetrics-text;q=0": false,
+		"*/*":                              false,
+	} {
+		if got := acceptsOpenMetrics(accept); got != want {
+			t.Errorf("acceptsOpenMetrics(%q) = %v, want %v", accept, got, want)
+		}
 	}
 }

@@ -181,6 +181,30 @@ func (s *Store) StartTrace(ctx context.Context, name string, attrs ...Attr) (con
 	return ContextWith(ctx, root), root
 }
 
+// Remove drops a recorder from the store, freeing its slot. It exists for
+// work that registered a root trace and was then rejected before doing
+// anything (a queue-full submission): keeping such traces would let a
+// burst of rejections — exactly when the system is overloaded and the
+// retained history matters most — evict the flight recorders of real
+// completed jobs. Removing an unknown or nil recorder is a no-op.
+func (s *Store) Remove(rec *Recorder) {
+	if s == nil || rec == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.byID[rec.traceID]; !ok {
+		return
+	}
+	delete(s.byID, rec.traceID)
+	for i, r := range s.order {
+		if r == rec {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+}
+
 // Get returns the flight recorder for a hex trace ID.
 func (s *Store) Get(id string) (*Recorder, bool) {
 	if s == nil {

@@ -165,6 +165,41 @@ func TestStoreEviction(t *testing.T) {
 	}
 }
 
+// TestStoreRemove checks that Remove frees a trace's slot (so rejected
+// work doesn't consume FIFO capacity) and that removing nil or unknown
+// recorders is a no-op.
+func TestStoreRemove(t *testing.T) {
+	store := NewStore(3, 16)
+	_, kept := store.StartTrace(context.Background(), "kept")
+	_, rejected := store.StartTrace(context.Background(), "rejected")
+	rejected.End()
+	store.Remove(rejected.Recorder())
+
+	if store.Len() != 1 {
+		t.Fatalf("store retains %d traces after Remove, want 1", store.Len())
+	}
+	if _, ok := store.Get(rejected.TraceID()); ok {
+		t.Fatal("removed trace still resolvable")
+	}
+	if _, ok := store.Get(kept.TraceID()); !ok {
+		t.Fatal("Remove dropped the wrong trace")
+	}
+	// Idempotent / nil-safe.
+	store.Remove(rejected.Recorder())
+	store.Remove(nil)
+	var nilStore *Store
+	nilStore.Remove(kept.Recorder())
+	if store.Len() != 1 {
+		t.Fatalf("no-op removals changed Len to %d", store.Len())
+	}
+	// The freed slot means two more traces fit without evicting "kept".
+	store.StartTrace(context.Background(), "a")
+	store.StartTrace(context.Background(), "b")
+	if _, ok := store.Get(kept.TraceID()); !ok {
+		t.Fatal("kept trace evicted despite the freed slot")
+	}
+}
+
 // TestConcurrentSpanHammer creates spans, events and chunk records from
 // many goroutines against one trace while snapshots are taken — the -race
 // gate on the recorder's synchronization.

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"sort"
 	"sync"
 	"time"
 
@@ -200,7 +201,8 @@ func (e *Engine) SubmitCtx(ctx context.Context, spec JobSpec) (*Job, error) {
 	e.nextID++
 	id := fmt.Sprintf("j%06d", e.nextID)
 	span := trace.FromContext(ctx).Child("job")
-	if span == nil {
+	rooted := span == nil // this submission registered a fresh root trace
+	if rooted {
 		_, span = e.traces.StartTrace(context.Background(), "job")
 	}
 	span.SetAttrs(trace.String("job_id", id), trace.String("strategy", spec.Strategy),
@@ -216,6 +218,14 @@ func (e *Engine) SubmitCtx(ctx context.Context, spec JobSpec) (*Job, error) {
 		e.metrics.jobsRejected.Inc()
 		j.queueSpan.End()
 		j.span.End(trace.String("state", "rejected"), trace.String("error", ErrQueueFull.Error()))
+		if rooted {
+			// Un-register the root trace this rejected submission created: a
+			// rejection burst (exactly when the daemon is overloaded) must
+			// not FIFO-evict the flight recorders of real completed jobs.
+			// HTTP-parented spans recorded into the request's trace, which
+			// stays.
+			e.traces.Remove(span.Recorder())
+		}
 		return nil, ErrQueueFull
 	}
 	e.jobs[j.ID] = j
@@ -401,10 +411,17 @@ func (e *Engine) run(j *Job) {
 	e.logSlowJob(j)
 }
 
-// logSlowJob dumps the full trace of a job whose run time exceeded the
-// SlowJob threshold through slog — the diagnosis record outlives the trace
-// store's FIFO eviction. The span tree is bounded by the store's per-trace
-// ring, so the log record is too.
+// slowJobLogSpans bounds how many spans logSlowJob serializes. The trace
+// ring holds up to -trace-spans (default 4096) records with attrs and
+// events; dumping all of them would put a multi-megabyte line in the log.
+// The slowest few answer "where did the time go" — the full tree stays
+// readable at /v1/jobs/{id}/trace while the store retains it.
+const slowJobLogSpans = 16
+
+// logSlowJob logs a bounded diagnosis record for a job whose run time
+// exceeded the SlowJob threshold: trace ID, span count, and the slowest
+// spans — enough to outlive the trace store's FIFO eviction without
+// multi-megabyte log lines.
 func (e *Engine) logSlowJob(j *Job) {
 	if e.cfg.SlowJob <= 0 {
 		return
@@ -422,9 +439,23 @@ func (e *Engine) logSlowJob(j *Job) {
 	}
 	if rec := j.span.Recorder(); rec != nil {
 		tr := rec.Snapshot()
-		attrs = append(attrs, "trace_id", tr.TraceID, "spans", len(tr.Spans))
-		if buf, err := json.Marshal(tr); err == nil {
-			attrs = append(attrs, "trace", string(buf))
+		attrs = append(attrs, "trace_id", tr.TraceID, "spans", len(tr.Spans),
+			"trace_url", "/v1/jobs/"+j.ID+"/trace")
+		type spanSummary struct {
+			Name string  `json:"name"`
+			MS   float64 `json:"ms"`
+		}
+		spans := tr.Spans
+		sort.Slice(spans, func(a, b int) bool { return spans[a].Duration() > spans[b].Duration() })
+		if len(spans) > slowJobLogSpans {
+			spans = spans[:slowJobLogSpans]
+		}
+		slowest := make([]spanSummary, len(spans))
+		for i, s := range spans {
+			slowest[i] = spanSummary{Name: s.Name, MS: float64(s.Duration()) / float64(time.Millisecond)}
+		}
+		if buf, err := json.Marshal(slowest); err == nil {
+			attrs = append(attrs, "slowest_spans", string(buf))
 		}
 	}
 	slog.Warn("slow job", attrs...)

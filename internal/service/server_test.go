@@ -469,21 +469,27 @@ func TestEngineQueueFull(t *testing.T) {
 	snap := snapshotModel(t, g, "ComplEx", 32, 3)
 	spec := JobSpec{Model: ModelSpec{Name: "ComplEx", Dim: 32, Seed: 3, Snapshot: snap}, Strategy: "full"}
 
-	var sawFull bool
+	accepted, rejected := 0, 0
 	for i := 0; i < 8; i++ {
-		if _, err := engine.Submit(spec); err != nil {
-			if err != ErrQueueFull {
-				t.Fatalf("unexpected submit error: %v", err)
-			}
-			sawFull = true
-			break
+		switch _, err := engine.Submit(spec); err {
+		case nil:
+			accepted++
+		case ErrQueueFull:
+			rejected++
+		default:
+			t.Fatalf("unexpected submit error: %v", err)
 		}
 	}
-	if !sawFull {
+	if rejected == 0 {
 		t.Fatal("queue of depth 1 accepted 8 slow jobs")
 	}
 	if got := fmt.Sprint(ErrQueueFull); !strings.Contains(got, "queue full") {
 		t.Fatalf("ErrQueueFull text = %q", got)
+	}
+	// Rejected submissions must not occupy trace-store slots: a rejection
+	// burst would otherwise evict the flight recorders of real jobs.
+	if n := engine.Traces().Len(); n != accepted {
+		t.Fatalf("trace store holds %d traces after %d accepted / %d rejected submissions", n, accepted, rejected)
 	}
 }
 

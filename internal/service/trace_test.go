@@ -177,20 +177,43 @@ func TestTracePropagation(t *testing.T) {
 		}
 	}
 
-	// Exemplars: the eval stage histograms in /metrics carry the trace ID
-	// of a recent observation in OpenMetrics exemplar syntax.
-	resp, err := http.Get(ts.URL + "/metrics")
+	// Exemplars: when the scraper negotiates OpenMetrics, the eval stage
+	// histograms in /metrics carry the trace ID of a recent observation in
+	// exemplar syntax.
+	req, err := http.NewRequest("GET", ts.URL+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "application/openmetrics-text;version=1.0.0;q=0.75,text/plain;version=0.0.4;q=0.5")
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}
 	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	metrics := string(body)
+	if ct := resp.Header.Get("Content-Type"); !containsStr(ct, "application/openmetrics-text") {
+		t.Fatalf("negotiated Content-Type = %q", ct)
+	}
 	if !containsExemplar(metrics, "kgeval_eval_stage_seconds_bucket") {
 		t.Fatalf("no exemplar on kgeval_eval_stage_seconds buckets:\n%.2000s", metrics)
 	}
 	if !containsExemplar(metrics, "kgeval_job_run_seconds_bucket") {
 		t.Fatal("no exemplar on kgeval_job_run_seconds buckets")
+	}
+
+	// A classic scrape (no Accept header) must stay parseable by the 0.0.4
+	// text parser: no exemplar annotations on sample lines.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, line := range splitLines(string(body)) {
+		if len(line) > 0 && line[0] != '#' && containsStr(line, "#") {
+			t.Fatalf("classic /metrics line carries exemplar syntax: %q", line)
+		}
 	}
 }
 

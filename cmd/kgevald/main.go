@@ -21,6 +21,18 @@
 // under /debug/pprof/. Logs are structured (log/slog); -log-level selects
 // the threshold (debug includes per-request access logs).
 //
+// Production hardening (see README "Operations"): jobs carry end-to-end
+// deadlines (timeout_ms, or the -job-timeout default) and expire terminally
+// when they pass; a full queue sheds load with 429 + Retry-After derived
+// from recent throughput; -mem-budget-mb gates admission on the job's
+// estimated working set, degrading precision to float32 before rejecting;
+// SIGTERM drains gracefully — /readyz flips to 503, queued jobs get a
+// terminal SSE event, running jobs get up to -drain-timeout to finish; fit
+// keys that keep failing are quarantined by a circuit breaker; and -faults
+// arms the deterministic chaos-injection registry (testing only). The
+// listener binds before the dataset loads, so early probes see an honest
+// 503 "starting" instead of connection refused.
+//
 // Usage:
 //
 //	kgevald -dataset wikikg2-sim -addr :8080
@@ -41,16 +53,23 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
+	"kgeval/internal/faults"
 	"kgeval/internal/kg"
 	"kgeval/internal/obs"
 	"kgeval/internal/obs/trace"
@@ -77,6 +96,11 @@ func main() {
 		traceSpans    = flag.Int("trace-spans", trace.DefaultTraceSpans, "span records retained per trace")
 		chunkSample   = flag.Int("trace-chunk-sample", 1, "record a span every Nth relation chunk (1 = all, negative = none)")
 		runtimeSample = flag.Duration("runtime-sample", 10*time.Second, "runtime gauge sampling interval (0 = off)")
+
+		jobTimeout   = flag.Duration("job-timeout", 0, "default end-to-end deadline per job, queue wait included (0 = none; jobs can set timeout_ms themselves)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "on SIGTERM/SIGINT, how long running jobs get to finish before being canceled")
+		memBudgetMB  = flag.Int64("mem-budget-mb", 0, "estimated per-job working-set budget in MiB; over-budget jobs are degraded to float32 or rejected with 429 (0 = no gate)")
+		faultSpec    = flag.String("faults", "", "arm deterministic fault injection, e.g. 'service/fit=error,every=2;service/worker=stall,stall=5s' (testing only)")
 	)
 	flag.Parse()
 
@@ -86,6 +110,31 @@ func main() {
 		os.Exit(2)
 	}
 	slog.SetDefault(logger)
+
+	if *faultSpec != "" {
+		if err := faults.Parse(*faultSpec); err != nil {
+			fatal(logger, "parsing -faults", err)
+		}
+		logger.Warn("fault injection armed", "spec", *faultSpec)
+	}
+
+	// Bind the listener before the (potentially slow) dataset load and engine
+	// start, so orchestrators probing /readyz get an honest 503 "starting"
+	// instead of connection refused — the two mean different things to a
+	// rollout controller. The real API handler is swapped in once the engine
+	// is up.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(logger, "listening", err)
+	}
+	var apiHandler atomic.Pointer[http.Handler]
+	boot := http.Handler(bootstrapHandler())
+	apiHandler.Store(&boot)
+	httpSrv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		(*apiHandler.Load()).ServeHTTP(w, r)
+	})}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
 
 	var g *kg.Graph
 	if *dataDir != "" {
@@ -125,6 +174,8 @@ func main() {
 		Traces:            trace.NewStore(*traceStore, *traceSpans),
 		SlowJob:           time.Duration(*slowJobMS) * time.Millisecond,
 		TraceChunkSample:  *chunkSample,
+		DefaultTimeout:    *jobTimeout,
+		MemoryBudget:      *memBudgetMB << 20,
 	})
 	if err != nil {
 		fatal(logger, "starting engine", err)
@@ -143,11 +194,58 @@ func main() {
 		handler = mux
 		logger.Info("pprof enabled", "path", "/debug/pprof/")
 	}
+	apiHandler.Store(&handler)
 
-	logger.Info("listening", "addr", *addr, "workers", *workers, "cache", *cacheSize, "pprof", *pprofOn)
-	if err := http.ListenAndServe(*addr, handler); err != nil {
-		fatal(logger, "serving", err)
+	logger.Info("serving", "addr", ln.Addr().String(), "workers", *workers,
+		"cache", *cacheSize, "pprof", *pprofOn,
+		"job_timeout", *jobTimeout, "drain_timeout", *drainTimeout)
+
+	// Graceful shutdown: the first SIGTERM/SIGINT flips /readyz to 503 and
+	// stops admission (engine.Drain), queued jobs get a terminal "canceled by
+	// drain" event, running jobs get up to -drain-timeout to finish, and only
+	// then are the in-flight HTTP responses (including open SSE streams)
+	// shut down and the listener closed. A second signal aborts immediately.
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-serveErr:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fatal(logger, "serving", err)
+		}
+	case sig := <-sigCh:
+		logger.Info("shutdown signal, draining", "signal", sig.String(), "timeout", *drainTimeout)
+		go func() {
+			s := <-sigCh
+			logger.Warn("second signal, aborting", "signal", s.String())
+			os.Exit(1)
+		}()
+		engine.Drain(*drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			logger.Warn("http shutdown", "err", err)
+		}
+		logger.Info("drained, exiting")
 	}
+}
+
+// bootstrapHandler serves while the dataset loads and the engine starts:
+// readiness is honestly 503 (the server cannot accept jobs yet) and liveness
+// reports "starting", so probes can distinguish a booting daemon from a dead
+// one. Everything else is 503 too.
+func bootstrapHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, `{"status":"starting"}`)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"unavailable","reason":"starting"}`)
+	})
+	return mux
 }
 
 // newLogger builds the process logger at the requested threshold.

@@ -25,7 +25,16 @@
 //	                      flight-recorder store behind /v1/jobs/{id}/trace
 //	internal/service      evaluation-as-a-service: job engine (single- and
 //	                      multi-model jobs), framework cache and the kgevald
-//	                      HTTP API
+//	                      HTTP API, production-hardened with end-to-end job
+//	                      deadlines (terminal state "expired"), admission
+//	                      control (429 + Retry-After, memory-budget gate
+//	                      with precision degradation), graceful drain, and a
+//	                      circuit breaker quarantining fit keys that keep
+//	                      failing
+//	internal/faults       deterministic fault-injection registry for chaos
+//	                      tests and the kgevald -faults flag: named pipeline
+//	                      sites fire seeded error/panic/stall faults; unarmed
+//	                      sites cost one atomic load
 //	internal/kgc          TransE/DistMult/ComplEx/RESCAL/RotatE/TuckER/ConvE;
 //	                      the embedding models implement BatchScorer, scoring
 //	                      all queries of a relation against one gathered

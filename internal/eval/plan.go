@@ -1,12 +1,15 @@
 package eval
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"kgeval/internal/faults"
 	"kgeval/internal/kg"
 	"kgeval/internal/kgc"
 	"kgeval/internal/obs/trace"
@@ -111,6 +114,12 @@ func newPlan(queries []kg.Triple, provider CandidateProvider, opts Options) *pla
 	}
 
 	drawStart := time.Now()
+	// Chaos hook: newPlan has no error return, so error- and panic-mode
+	// faults both panic here; the engine's worker recovery converts that into
+	// a failed job carrying the stack.
+	if err := faults.Hit(faults.SitePoolDraw); err != nil {
+		panic(err)
+	}
 	rng := rand.New(rand.NewSource(opts.Seed + 1))
 	for gi := range p.groups {
 		g := &p.groups[gi]
@@ -228,6 +237,35 @@ func runPass(m kgc.Model, p *plan, opts Options, progressTotal int, done *atomic
 	return res
 }
 
+// panicRelay carries the first panic out of a scoring worker goroutine to
+// the goroutine that joins them. Without it a panic mid-scoring (a
+// malformed model state, an injected fault) dies on a goroutine nobody can
+// recover on and kills the whole process; relayed, it resurfaces on the
+// caller — where the service layer's job-level recovery turns it into one
+// failed job. The relayed value keeps the worker's stack, so the failure
+// report points at the scoring site, not the rethrow.
+type panicRelay struct {
+	once sync.Once
+	val  atomic.Value
+}
+
+// capture must be deferred directly in each worker goroutine.
+func (pr *panicRelay) capture() {
+	if r := recover(); r != nil {
+		pr.once.Do(func() {
+			pr.val.Store(fmt.Sprintf("%v\n\nscoring goroutine stack:\n%s", r, debug.Stack()))
+		})
+	}
+}
+
+// rethrow re-panics on the joining goroutine after wg.Wait, if any worker
+// panicked.
+func (pr *panicRelay) rethrow() {
+	if v := pr.val.Load(); v != nil {
+		panic(v)
+	}
+}
+
 // runBatch is the relation-grouped executor: workers pull batchTasks and
 // score whole chunks through the model's BatchScorer, reusing their entity
 // and score buffers across tasks. Each worker builds its own scorer: the
@@ -246,10 +284,12 @@ func runBatch(m kgc.Model, p *plan, opts Options, tile int, progressTotal int, d
 	sample := opts.TraceChunkSample
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	var relay panicRelay
 	for w := 0; w < nw; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer relay.capture()
 			bs := kgc.NewBatchScorer(m, kgc.BatchOptions{Precision: opts.Precision, Tile: tile})
 			var bufs taskBufs
 			var local int64
@@ -278,6 +318,7 @@ func runBatch(m kgc.Model, p *plan, opts Options, tile int, progressTotal int, d
 		}()
 	}
 	wg.Wait()
+	relay.rethrow()
 }
 
 // runTask ranks one chunk of a relation group in both directions. The true
@@ -421,6 +462,7 @@ func runPerQuery(m kgc.Model, p *plan, opts Options, progressTotal int, done, sc
 	queries := p.queries
 	nw := opts.workers()
 	var wg sync.WaitGroup
+	var relay panicRelay
 	chunk := (len(queries) + nw - 1) / nw
 	for w := 0; w < nw; w++ {
 		lo := w * chunk
@@ -434,6 +476,7 @@ func runPerQuery(m kgc.Model, p *plan, opts Options, progressTotal int, done, sc
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			defer relay.capture()
 			var buf []float64
 			var local, localNS int64
 			defer func() {
@@ -469,6 +512,7 @@ func runPerQuery(m kgc.Model, p *plan, opts Options, progressTotal int, done, sc
 		}(lo, hi)
 	}
 	wg.Wait()
+	relay.rethrow()
 }
 
 func growF64(buf []float64, n int) []float64 {

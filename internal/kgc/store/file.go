@@ -6,6 +6,8 @@ import (
 	"io"
 	"math"
 	"unsafe"
+
+	"kgeval/internal/faults"
 )
 
 // On-disk layout (little-endian, 8-byte-aligned sections):
@@ -133,6 +135,10 @@ func Read(r io.Reader) (*Store, error) {
 // through the page cache. Close releases the mapping. On platforms without
 // mmap support the file is read into the heap instead.
 func Open(path string) (*Store, error) {
+	// Chaos hook: simulate a corrupt or unreadable store file.
+	if err := faults.Hit(faults.SiteStoreOpen); err != nil {
+		return nil, fmt.Errorf("store: opening %s: %w", path, err)
+	}
 	return openMapped(path)
 }
 

@@ -15,7 +15,11 @@
 // through the page cache, making model load O(1) in the table size.
 package store
 
-import "fmt"
+import (
+	"fmt"
+
+	"kgeval/internal/faults"
+)
 
 // Precision selects the storage format of a Store.
 type Precision uint8
@@ -92,6 +96,11 @@ func (s *Store) nblocks() int { return (s.dim + BlockDim - 1) / BlockDim }
 // data (zero copy — the store is a view of the caller's weights); Float32
 // and Int8 snapshot a converted copy.
 func FromRows(data []float64, rows, dim int, p Precision) (*Store, error) {
+	// Chaos hook: simulate an allocation/conversion failure while building
+	// an entity store mid-evaluation.
+	if err := faults.Hit(faults.SiteStoreBuild); err != nil {
+		return nil, err
+	}
 	if dim <= 0 || rows < 0 || len(data) != rows*dim {
 		return nil, fmt.Errorf("store: shape %d×%d does not match %d values", rows, dim, len(data))
 	}

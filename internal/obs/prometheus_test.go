@@ -241,13 +241,13 @@ func TestHandler(t *testing.T) {
 
 func TestAcceptsOpenMetrics(t *testing.T) {
 	for accept, want := range map[string]bool{
-		"": false,
-		"text/plain": false,
+		"":                             false,
+		"text/plain":                   false,
 		"application/openmetrics-text": true,
 		"application/openmetrics-text; version=1.0.0; q=0.8, text/plain;q=0.5": true,
 		"text/plain;q=0.5, application/openmetrics-text;version=1.0.0":         true,
-		"application/openmetrics-text;q=0": false,
-		"*/*":                              false,
+		"application/openmetrics-text;q=0":                                     false,
+		"*/*":                                                                  false,
 	} {
 		if got := acceptsOpenMetrics(accept); got != want {
 			t.Errorf("acceptsOpenMetrics(%q) = %v, want %v", accept, got, want)

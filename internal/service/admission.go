@@ -1,0 +1,150 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"kgeval/internal/kgc/store"
+)
+
+// completionWindow is a ring of recent job-completion timestamps, the
+// throughput estimate behind Retry-After: with the queue full, the time
+// until a slot frees up is queue depth over recent drain rate.
+type completionWindow struct {
+	mu   sync.Mutex
+	ring [32]time.Time
+	n    int // total notes, ring holds the last min(n, len) of them
+}
+
+// note records one terminal transition. Nil-safe (jobs created outside an
+// engine carry no metrics).
+func (w *completionWindow) note(t time.Time) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	w.ring[w.n%len(w.ring)] = t
+	w.n++
+	w.mu.Unlock()
+}
+
+// rate returns recent completions per second, or 0 when there is not
+// enough history (fewer than two completions, or a stale window).
+func (w *completionWindow) rate() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	k := w.n
+	if k > len(w.ring) {
+		k = len(w.ring)
+	}
+	if k < 2 {
+		return 0
+	}
+	newest := w.ring[(w.n-1)%len(w.ring)]
+	oldest := w.ring[(w.n-k)%len(w.ring)]
+	span := newest.Sub(oldest)
+	if span <= 0 {
+		return 0
+	}
+	return float64(k-1) / span.Seconds()
+}
+
+// Retry-After bounds: never tell a client to come back sooner than a
+// second or later than two minutes, whatever the throughput math says.
+const (
+	minRetryAfter = time.Second
+	maxRetryAfter = 2 * time.Minute
+	// defaultRetryAfter is used before any job has completed (no drain-rate
+	// history yet).
+	defaultRetryAfter = 5 * time.Second
+)
+
+// RetryAfter estimates how long a rejected submitter should wait before
+// retrying: the current queue depth divided by the recent completion
+// throughput, clamped to [1s, 2m]. This is the value behind the
+// Retry-After header on 429 responses.
+func (e *Engine) RetryAfter() time.Duration {
+	rate := e.completions.rate()
+	if rate <= 0 {
+		return defaultRetryAfter
+	}
+	d := time.Duration(float64(len(e.queue)+1) / rate * float64(time.Second))
+	if d < minRetryAfter {
+		return minRetryAfter
+	}
+	if d > maxRetryAfter {
+		return maxRetryAfter
+	}
+	return d
+}
+
+// MemoryBudgetError reports a job whose estimated working set exceeds the
+// engine's memory budget even after precision degradation. It is a
+// structured, client-actionable rejection: resubmit with a smaller fleet,
+// a lower dim, or a reduced precision.
+type MemoryBudgetError struct {
+	EstimatedBytes int64
+	BudgetBytes    int64
+}
+
+func (e *MemoryBudgetError) Error() string {
+	return fmt.Sprintf("service: job needs an estimated %d MiB, over the %d MiB memory budget (reduce models, dim or precision)",
+		e.EstimatedBytes>>20, e.BudgetBytes>>20)
+}
+
+// estimateJobBytes approximates the working set a job pins while running:
+// per model, the float64 weight tables ((|E| + |R|)·dim) plus the entity
+// store gathered at the scoring precision (|E|·dim·bytes), plus the
+// snapshot bytes held during model reconstruction. A coarse upper-ish
+// bound — the gate exists to refuse obviously-over-budget work before it
+// OOMs the process, not to do exact accounting.
+func (e *Engine) estimateJobBytes(spec JobSpec, prec store.Precision) int64 {
+	specs := spec.Models
+	if len(specs) == 0 {
+		specs = []ModelSpec{spec.Model}
+	}
+	precBytes := int64(8)
+	switch prec {
+	case store.Float32:
+		precBytes = 4
+	case store.Int8:
+		precBytes = 1
+	}
+	var total int64
+	ents := int64(e.graph.NumEntities)
+	rels := int64(e.graph.NumRelations)
+	for _, ms := range specs {
+		dim := int64(ms.Dim)
+		total += (ents+rels)*dim*8 + ents*dim*precBytes + int64(len(ms.Snapshot))
+	}
+	return total
+}
+
+// admit applies the memory-budget gate to a validated spec: within budget
+// passes through; over budget at the default float64 precision degrades to
+// float32 (graceful degradation — a bounded-deviation estimate beats an
+// OOM-killed daemon); still (or explicitly) over budget rejects with a
+// *MemoryBudgetError. The returned bool reports whether precision was
+// degraded.
+func (e *Engine) admit(spec JobSpec) (JobSpec, bool, error) {
+	budget := e.cfg.MemoryBudget
+	if budget <= 0 {
+		return spec, false, nil
+	}
+	prec, _ := store.ParsePrecision(spec.Precision) // validated earlier
+	est := e.estimateJobBytes(spec, prec)
+	if est <= budget {
+		return spec, false, nil
+	}
+	// Only the implicit default is degraded: a caller who explicitly asked
+	// for float64 said they need the bit-exact reference, so they get a
+	// structured rejection instead of silently different numbers.
+	if spec.Precision == "" {
+		if e32 := e.estimateJobBytes(spec, store.Float32); e32 <= budget {
+			spec.Precision = store.Float32.String()
+			return spec, true, nil
+		}
+	}
+	return spec, false, &MemoryBudgetError{EstimatedBytes: est, BudgetBytes: budget}
+}

@@ -1,0 +1,122 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// fitBreaker is a per-CacheKey circuit breaker around framework Fit: a key
+// whose builds keep failing (or panicking — a poison graph/recommender
+// combination) is quarantined for an exponentially growing window, so jobs
+// naming it fail fast instead of repeatedly burning a worker on a Fit that
+// is going to fail again.
+//
+// The cycle is the classic closed → open → half-open loop, keyed: crossing
+// the consecutive-failure threshold opens the key for the current backoff
+// window; once the window passes, the next job through is the half-open
+// probe (Allow lets it run); a success closes the key and forgets it, a
+// failure reopens it with the window doubled (capped).
+type fitBreaker struct {
+	mu        sync.Mutex
+	threshold int           // consecutive failures to trip
+	base, max time.Duration // backoff window bounds
+	entries   map[CacheKey]*breakerEntry
+	now       func() time.Time // injectable clock for tests
+}
+
+type breakerEntry struct {
+	consecutive int
+	window      time.Duration
+	openUntil   time.Time
+}
+
+func newFitBreaker(threshold int, base, max time.Duration) *fitBreaker {
+	return &fitBreaker{
+		threshold: threshold,
+		base:      base,
+		max:       max,
+		entries:   map[CacheKey]*breakerEntry{},
+		now:       time.Now,
+	}
+}
+
+// QuarantinedError rejects a job whose fit key is quarantined. RetryAfter
+// is how long until the next half-open probe is admitted.
+type QuarantinedError struct {
+	Key        CacheKey
+	Failures   int
+	RetryAfter time.Duration
+}
+
+func (e *QuarantinedError) Error() string {
+	return fmt.Sprintf("service: fit for recommender %q (n_s=%d) quarantined after %d consecutive failures; retry in %s",
+		e.Key.Recommender, e.Key.NumSamples, e.Failures, e.RetryAfter.Round(time.Millisecond))
+}
+
+// allow reports whether a Fit for key may run now; inside an open window it
+// returns a *QuarantinedError instead.
+func (b *fitBreaker) allow(key CacheKey) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	en := b.entries[key]
+	if en == nil || en.openUntil.IsZero() {
+		return nil
+	}
+	if wait := en.openUntil.Sub(b.now()); wait > 0 {
+		return &QuarantinedError{Key: key, Failures: en.consecutive, RetryAfter: wait}
+	}
+	// Window passed: this caller is the half-open probe. Clear openUntil so
+	// concurrent jobs aren't all rejected while the probe runs — letting a
+	// few through is fine, the single-flight cache dedups the actual Fit.
+	en.openUntil = time.Time{}
+	return nil
+}
+
+// failure records one failed build and returns whether it tripped (or
+// re-tripped) the quarantine, with the window applied.
+func (b *fitBreaker) failure(key CacheKey) (tripped bool, window time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	en := b.entries[key]
+	if en == nil {
+		en = &breakerEntry{}
+		b.entries[key] = en
+	}
+	en.consecutive++
+	if en.consecutive < b.threshold {
+		return false, 0
+	}
+	if en.window == 0 {
+		en.window = b.base
+	} else {
+		en.window *= 2
+		if en.window > b.max {
+			en.window = b.max
+		}
+	}
+	en.openUntil = b.now().Add(en.window)
+	return true, en.window
+}
+
+// success closes the key: the graph/recommender combination fits again.
+func (b *fitBreaker) success(key CacheKey) {
+	b.mu.Lock()
+	delete(b.entries, key)
+	b.mu.Unlock()
+}
+
+// openKeys counts keys currently inside an open quarantine window — the
+// kgeval_fit_quarantined_keys gauge.
+func (b *fitBreaker) openKeys() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	now := b.now()
+	for _, en := range b.entries {
+		if !en.openUntil.IsZero() && en.openUntil.After(now) {
+			n++
+		}
+	}
+	return n
+}

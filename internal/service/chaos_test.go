@@ -1,0 +1,552 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"kgeval/internal/faults"
+	"kgeval/internal/kgc/store"
+)
+
+// The chaos suite drives the full HTTP server while the faults registry
+// injects failures at named pipeline sites, asserting the robustness
+// contract: every failure mode ends in a terminal job state with an
+// actionable error, the server keeps serving, and /metrics counts the event.
+// Tests share the process-global faults registry, so none of them run in
+// parallel and each resets the registry on cleanup.
+
+func armFault(t *testing.T, site string, p faults.Plan) {
+	t.Helper()
+	faults.Arm(site, p)
+	t.Cleanup(faults.Reset)
+}
+
+func fetchMetrics(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+// metricValue extracts a sample value from a Prometheus text exposition;
+// name must include labels when the metric has them. Returns -1 if absent.
+func metricValue(body, name string) float64 {
+	for _, line := range strings.Split(body, "\n") {
+		rest, ok := strings.CutPrefix(line, name+" ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			return -1
+		}
+		return v
+	}
+	return -1
+}
+
+func serving(t *testing.T, base string) {
+	t.Helper()
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("server stopped serving: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %s after fault", resp.Status)
+	}
+}
+
+// TestChaosFitPanicQuarantine: a poison fit key (its build panics every
+// time) fails jobs with the panic visible in their status, trips the
+// circuit breaker at the threshold, fails the next job fast with a
+// quarantine error, and recovers — fit works again — once the fault is gone
+// and the window passed. Metrics count every failure, trip and rejection.
+func TestChaosFitPanicQuarantine(t *testing.T) {
+	srv, engine := newTestServer(t, EngineConfig{
+		Workers:             1,
+		FitFailureThreshold: 2,
+		FitQuarantine:       time.Second,
+		FitRetries:          -1, // one failure per job, so counts are exact
+	})
+	g := engine.Graph()
+	snap := snapshotModel(t, g, "DistMult", 8, 6)
+	spec := JobSpec{Model: ModelSpec{Name: "DistMult", Dim: 8, Seed: 6, Snapshot: snap}, Strategy: "P", MaxQueries: 20}
+
+	armFault(t, faults.SiteFit, faults.Plan{Action: faults.Panic})
+
+	// Two failing builds cross the threshold.
+	for i := 0; i < 2; i++ {
+		st := waitTerminal(t, srv.URL, submitJob(t, srv.URL, spec).ID)
+		if st.State != StateFailed {
+			t.Fatalf("job %d under fit panic: state %s, error %q", i, st.State, st.Error)
+		}
+		if !strings.Contains(st.Error, "fit panicked") || !strings.Contains(st.Error, "buildFramework") {
+			t.Fatalf("job %d error carries no panic stack: %q", i, st.Error)
+		}
+	}
+	// Third job fails fast on the quarantine, without running the build.
+	st := waitTerminal(t, srv.URL, submitJob(t, srv.URL, spec).ID)
+	if st.State != StateFailed || !strings.Contains(st.Error, "quarantined") {
+		t.Fatalf("job during quarantine: state %s, error %q", st.State, st.Error)
+	}
+	serving(t, srv.URL)
+
+	body := fetchMetrics(t, srv.URL)
+	for metric, want := range map[string]float64{
+		"kgeval_fit_failures_total":                   2,
+		"kgeval_fit_quarantine_trips_total":           1,
+		"kgeval_fit_quarantined_total":                1,
+		`kgeval_jobs_completed_total{state="failed"}`: 3,
+	} {
+		if got := metricValue(body, metric); got != want {
+			t.Errorf("%s = %v, want %v", metric, got, want)
+		}
+	}
+
+	// Fault gone + window passed: the half-open probe closes the breaker.
+	faults.Reset()
+	time.Sleep(1100 * time.Millisecond)
+	st = waitTerminal(t, srv.URL, submitJob(t, srv.URL, spec).ID)
+	if st.State != StateSucceeded {
+		t.Fatalf("job after quarantine window: state %s, error %q", st.State, st.Error)
+	}
+}
+
+// TestChaosFitRetryTransient: a fit that fails exactly once is retried with
+// backoff and the job still succeeds; the retry is counted.
+func TestChaosFitRetryTransient(t *testing.T) {
+	srv, engine := newTestServer(t, EngineConfig{
+		Workers:         1,
+		FitRetryBackoff: 5 * time.Millisecond,
+	})
+	g := engine.Graph()
+	armFault(t, faults.SiteFit, faults.Plan{Action: faults.Error, Limit: 1})
+
+	st := waitTerminal(t, srv.URL, submitJob(t, srv.URL, JobSpec{
+		Model:    ModelSpec{Name: "DistMult", Dim: 8, Seed: 6, Snapshot: snapshotModel(t, g, "DistMult", 8, 6)},
+		Strategy: "P", MaxQueries: 20,
+	}).ID)
+	if st.State != StateSucceeded {
+		t.Fatalf("job with one transient fit failure: state %s, error %q", st.State, st.Error)
+	}
+	body := fetchMetrics(t, srv.URL)
+	if got := metricValue(body, "kgeval_fit_retries_total"); got != 1 {
+		t.Errorf("kgeval_fit_retries_total = %v, want 1", got)
+	}
+	if got := metricValue(body, "kgeval_fit_failures_total"); got != 1 {
+		t.Errorf("kgeval_fit_failures_total = %v, want 1", got)
+	}
+}
+
+// TestChaosWorkerStallPastDeadline: a worker stalled (injected hang) past
+// the job's deadline leaves the job terminal in state expired at roughly
+// the deadline — not after the stall — the worker comes back, and the
+// expiry is counted.
+func TestChaosWorkerStallPastDeadline(t *testing.T) {
+	srv, engine := newTestServer(t, EngineConfig{Workers: 1})
+	g := engine.Graph()
+	snap := snapshotModel(t, g, "DistMult", 8, 6)
+
+	armFault(t, faults.SiteWorker, faults.Plan{Action: faults.Stall, Stall: time.Minute, Limit: 1})
+
+	start := time.Now()
+	st := waitTerminal(t, srv.URL, submitJob(t, srv.URL, JobSpec{
+		Model:    ModelSpec{Name: "DistMult", Dim: 8, Seed: 6, Snapshot: snap},
+		Strategy: "P", MaxQueries: 20, TimeoutMS: 300,
+	}).ID)
+	if st.State != StateExpired {
+		t.Fatalf("stalled job: state %s, error %q", st.State, st.Error)
+	}
+	if !strings.Contains(st.Error, "deadline exceeded") {
+		t.Fatalf("expired job error = %q", st.Error)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("expiry took %s — the stall, not the deadline, bounded it", elapsed)
+	}
+	if st.FinishedAt == nil || st.FinishedAt.IsZero() {
+		t.Fatal("expired job has no finish timestamp")
+	}
+	serving(t, srv.URL)
+
+	// The worker must come back: the next job (fault exhausted) succeeds.
+	st = waitTerminal(t, srv.URL, submitJob(t, srv.URL, JobSpec{
+		Model:    ModelSpec{Name: "DistMult", Dim: 8, Seed: 6, Snapshot: snap},
+		Strategy: "P", MaxQueries: 20,
+	}).ID)
+	if st.State != StateSucceeded {
+		t.Fatalf("job after stall: state %s, error %q", st.State, st.Error)
+	}
+	if got := metricValue(fetchMetrics(t, srv.URL), `kgeval_jobs_completed_total{state="expired"}`); got != 1 {
+		t.Errorf(`kgeval_jobs_completed_total{state="expired"} = %v, want 1`, got)
+	}
+}
+
+// TestChaosExpiredWhileQueued: a job whose deadline passes while it is
+// still waiting for a worker reaches expired without ever running, and its
+// SSE subscribers get the terminal event.
+func TestChaosExpiredWhileQueued(t *testing.T) {
+	srv, engine := newTestServer(t, EngineConfig{Workers: 1, EvalWorkers: 1})
+	g := engine.Graph()
+	snap := snapshotModel(t, g, "DistMult", 8, 6)
+
+	// A stalled blocker occupies the single worker deterministically past
+	// the target's deadline (the stall is context-bounded, so the engine's
+	// cleanup Close still reclaims the worker).
+	armFault(t, faults.SiteWorker, faults.Plan{Action: faults.Stall, Stall: time.Minute, Limit: 1})
+	submitJob(t, srv.URL, JobSpec{
+		Model: ModelSpec{Name: "DistMult", Dim: 8, Seed: 6, Snapshot: snap}, Strategy: "P",
+	})
+	target := submitJob(t, srv.URL, JobSpec{
+		Model:    ModelSpec{Name: "DistMult", Dim: 8, Seed: 6, Snapshot: snap},
+		Strategy: "P", TimeoutMS: 150,
+	})
+
+	events := readSSE(t, srv.URL+"/v1/jobs/"+target.ID+"/stream")
+	final := events[len(events)-1]
+	if final.typ != "done" || final.status.State != StateExpired {
+		t.Fatalf("final SSE event = %q state %s, want done/expired", final.typ, final.status.State)
+	}
+	if final.status.StartedAt != nil {
+		t.Fatal("expired-while-queued job reports a start time")
+	}
+}
+
+// TestChaosStoreBuildError: an injected entity-store build failure inside
+// the scoring hot path surfaces as a failed job whose error names the store
+// build, with the panic stack attached — and the server keeps serving.
+func TestChaosStoreBuildError(t *testing.T) {
+	srv, engine := newTestServer(t, EngineConfig{Workers: 1})
+	g := engine.Graph()
+	snap := snapshotModel(t, g, "DistMult", 8, 6)
+	spec := JobSpec{Model: ModelSpec{Name: "DistMult", Dim: 8, Seed: 6, Snapshot: snap}, Strategy: "P", MaxQueries: 20}
+
+	armFault(t, faults.SiteStoreBuild, faults.Plan{Action: faults.Error, Limit: 1})
+
+	st := waitTerminal(t, srv.URL, submitJob(t, srv.URL, spec).ID)
+	if st.State != StateFailed {
+		t.Fatalf("job under store-build fault: state %s, error %q", st.State, st.Error)
+	}
+	if !strings.Contains(st.Error, "entity store") || !strings.Contains(st.Error, "injected") {
+		t.Fatalf("store-build failure error = %q", st.Error)
+	}
+	serving(t, srv.URL)
+
+	// Fault exhausted: the same spec succeeds.
+	st = waitTerminal(t, srv.URL, submitJob(t, srv.URL, spec).ID)
+	if st.State != StateSucceeded {
+		t.Fatalf("job after store fault: state %s, error %q", st.State, st.Error)
+	}
+}
+
+// TestChaosStoreOpenError checks the store/open wiring: an armed site makes
+// Open fail with the injected error before touching the file.
+func TestChaosStoreOpenError(t *testing.T) {
+	armFault(t, faults.SiteStoreOpen, faults.Plan{Action: faults.Error})
+	_, err := store.Open(filepath.Join(t.TempDir(), "does-not-matter.kgstore"))
+	var inj *faults.Injected
+	if !errors.As(err, &inj) || inj.Site != faults.SiteStoreOpen {
+		t.Fatalf("store.Open under fault = %v, want injected %s", err, faults.SiteStoreOpen)
+	}
+}
+
+// TestChaosPoolDrawPanicStackInStatus is the panic-recovery acceptance
+// test: a panic deep in the eval layer (pool draw) fails the one job, and
+// GET /v1/jobs/{id} shows the panic message and the stack including the
+// panic origin.
+func TestChaosPoolDrawPanicStackInStatus(t *testing.T) {
+	srv, engine := newTestServer(t, EngineConfig{Workers: 1})
+	g := engine.Graph()
+
+	armFault(t, faults.SitePoolDraw, faults.Plan{Action: faults.Panic, Limit: 1})
+
+	id := submitJob(t, srv.URL, JobSpec{
+		Model:    ModelSpec{Name: "DistMult", Dim: 8, Seed: 6, Snapshot: snapshotModel(t, g, "DistMult", 8, 6)},
+		Strategy: "P", MaxQueries: 20,
+	}).ID
+	st := waitTerminal(t, srv.URL, id)
+	if st.State != StateFailed {
+		t.Fatalf("job under pool-draw panic: state %s, error %q", st.State, st.Error)
+	}
+	for _, want := range []string{"evaluation panicked", "injected panic at eval/pooldraw", "goroutine", "newPlan"} {
+		if !strings.Contains(st.Error, want) {
+			t.Errorf("status error missing %q:\n%s", want, st.Error)
+		}
+	}
+	serving(t, srv.URL)
+}
+
+// TestServerQueueFullRetryAfter: a saturated queue turns submissions into
+// 429 with a Retry-After header, and the shed is counted by reason.
+func TestServerQueueFullRetryAfter(t *testing.T) {
+	srv, engine := newTestServer(t, EngineConfig{Workers: 1, EvalWorkers: 1, QueueDepth: 1})
+	g := engine.Graph()
+	blocker := snapshotModel(t, g, "ComplEx", 512, 5)
+
+	post := func() *http.Response {
+		t.Helper()
+		body, _ := json.Marshal(JobSpec{
+			Model:    ModelSpec{Name: "ComplEx", Dim: 512, Seed: 5, Snapshot: blocker},
+			Strategy: "full",
+		})
+		resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	var rejected *http.Response
+	for i := 0; i < 8; i++ {
+		resp := post()
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			rejected = resp
+			break
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d returned %s", i, resp.Status)
+		}
+	}
+	if rejected == nil {
+		t.Fatal("queue of depth 1 never rejected a submission")
+	}
+	ra, err := strconv.Atoi(rejected.Header.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("429 Retry-After = %q, want an integer >= 1", rejected.Header.Get("Retry-After"))
+	}
+	if got := metricValue(fetchMetrics(t, srv.URL), `kgeval_jobs_shed_total{reason="queue_full"}`); got < 1 {
+		t.Errorf(`kgeval_jobs_shed_total{reason="queue_full"} = %v, want >= 1`, got)
+	}
+}
+
+// TestServerMemoryBudget: a job over the memory budget at the default
+// precision is degraded to float32 (and marked so), while an explicit
+// float64 request over budget is rejected 429 with a structured body.
+func TestServerMemoryBudget(t *testing.T) {
+	g := serviceGraph(t)
+	// A throwaway engine computes the estimates the budget is placed between.
+	sizer, err := NewEngine(EngineConfig{Graph: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := snapshotModel(t, g, "DistMult", 64, 6)
+	spec := JobSpec{Model: ModelSpec{Name: "DistMult", Dim: 64, Seed: 6, Snapshot: snap}, Strategy: "P", MaxQueries: 20}
+	est64 := sizer.estimateJobBytes(spec, store.Float64)
+	est32 := sizer.estimateJobBytes(spec, store.Float32)
+	sizer.Close()
+	if est32 >= est64 {
+		t.Fatalf("estimates not ordered: float32 %d >= float64 %d", est32, est64)
+	}
+
+	srv, _ := newTestServer(t, EngineConfig{Workers: 1, MemoryBudget: (est32 + est64) / 2})
+
+	st := submitJob(t, srv.URL, spec)
+	if !st.PrecisionDegraded || st.Precision != "float32" {
+		t.Fatalf("over-budget job: degraded=%v precision=%q, want degraded float32", st.PrecisionDegraded, st.Precision)
+	}
+	if final := waitTerminal(t, srv.URL, st.ID); final.State != StateSucceeded {
+		t.Fatalf("degraded job: state %s, error %q", final.State, final.Error)
+	}
+
+	// Explicit float64 cannot be degraded: structured 429.
+	spec.Precision = "float64"
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("explicit float64 over budget returned %s, want 429", resp.Status)
+	}
+	var rej map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&rej); err != nil {
+		t.Fatal(err)
+	}
+	if rej["code"] != "memory_budget" || rej["estimated_bytes"] == nil || rej["budget_bytes"] == nil {
+		t.Fatalf("rejection body = %v", rej)
+	}
+
+	mbody := fetchMetrics(t, srv.URL)
+	if got := metricValue(mbody, "kgeval_jobs_degraded_total"); got != 1 {
+		t.Errorf("kgeval_jobs_degraded_total = %v, want 1", got)
+	}
+	if got := metricValue(mbody, `kgeval_jobs_shed_total{reason="memory_budget"}`); got != 1 {
+		t.Errorf(`kgeval_jobs_shed_total{reason="memory_budget"} = %v, want 1`, got)
+	}
+}
+
+// TestServerGracefulDrain: Drain stops admission (readyz 503 with reason
+// "draining", submissions 503), cancels queued jobs with a terminal SSE
+// event naming the drain, lets the running job finish, and counts the
+// drained job.
+func TestServerGracefulDrain(t *testing.T) {
+	srv, engine := newTestServer(t, EngineConfig{Workers: 1, EvalWorkers: 1})
+	g := engine.Graph()
+
+	// The blocker stalls 2s in the worker, then evaluates normally: it is
+	// reliably still running when Drain starts, and reliably finishes well
+	// inside the drain timeout — the "running jobs get to finish" half of
+	// the contract.
+	armFault(t, faults.SiteWorker, faults.Plan{Action: faults.Stall, Stall: 2 * time.Second, Limit: 1})
+	blocker := submitJob(t, srv.URL, JobSpec{
+		Model:    ModelSpec{Name: "DistMult", Dim: 8, Seed: 6, Snapshot: snapshotModel(t, g, "DistMult", 8, 6)},
+		Strategy: "P", MaxQueries: 20,
+	})
+	// The blocker must be running (not queued) before Drain, or it would be
+	// shed instead of finishing.
+	for getStatus(t, srv.URL, blocker.ID).State == StateQueued {
+		time.Sleep(time.Millisecond)
+	}
+	queued := submitJob(t, srv.URL, JobSpec{
+		Model:    ModelSpec{Name: "DistMult", Dim: 8, Seed: 6, Snapshot: snapshotModel(t, g, "DistMult", 8, 6)},
+		Strategy: "P", MaxQueries: 20,
+	})
+
+	type sseResult struct {
+		events []sseEvent
+	}
+	streamDone := make(chan sseResult, 1)
+	go func() {
+		streamDone <- sseResult{readSSE(t, srv.URL+"/v1/jobs/"+queued.ID+"/stream")}
+	}()
+	// Give the stream a moment to attach so it observes the drain event live.
+	time.Sleep(50 * time.Millisecond)
+
+	drained := make(chan struct{})
+	go func() {
+		engine.Drain(time.Minute)
+		close(drained)
+	}()
+
+	// readyz flips to 503/draining while the drain is in progress.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(srv.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ready map[string]any
+		json.NewDecoder(resp.Body).Decode(&ready) //nolint:errcheck
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			if ready["reason"] != "draining" {
+				t.Fatalf("readyz 503 reason = %v, want draining", ready["reason"])
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("readyz never reported unavailable during drain")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// The queued job's subscribers got a terminal event naming the drain.
+	res := <-streamDone
+	final := res.events[len(res.events)-1]
+	if final.typ != "done" || final.status.State != StateCanceled || !strings.Contains(final.status.Error, "drain") {
+		t.Fatalf("drained job SSE final = %q state %s error %q", final.typ, final.status.State, final.status.Error)
+	}
+
+	select {
+	case <-drained:
+	case <-time.After(60 * time.Second):
+		t.Fatal("Drain never returned")
+	}
+	// The running job was allowed to finish.
+	if st := getStatus(t, srv.URL, blocker.ID); st.State != StateSucceeded {
+		t.Fatalf("running job after drain: state %s, error %q", st.State, st.Error)
+	}
+
+	// Admission stays off: submissions are 503 with Retry-After.
+	body, _ := json.Marshal(JobSpec{
+		Model:    ModelSpec{Name: "DistMult", Dim: 8, Seed: 6, Snapshot: snapshotModel(t, g, "DistMult", 8, 6)},
+		Strategy: "P",
+	})
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit after drain returned %s, want 503", resp.Status)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("draining 503 carries no Retry-After")
+	}
+
+	mbody := fetchMetrics(t, srv.URL)
+	if got := metricValue(mbody, "kgeval_jobs_drained_total"); got != 1 {
+		t.Errorf("kgeval_jobs_drained_total = %v, want 1", got)
+	}
+	if got := metricValue(mbody, "kgeval_draining"); got != 1 {
+		t.Errorf("kgeval_draining = %v, want 1", got)
+	}
+}
+
+// TestServerSSEClientDisconnect: a client dropping its progress stream
+// mid-job must not cancel the job — the request context is the stream's,
+// not the job's — and the handler goroutine exits instead of leaking.
+func TestServerSSEClientDisconnect(t *testing.T) {
+	srv, engine := newTestServer(t, EngineConfig{Workers: 1, EvalWorkers: 1})
+	g := engine.Graph()
+	before := runtime.NumGoroutine()
+
+	id := submitJob(t, srv.URL, JobSpec{
+		Model:    ModelSpec{Name: "ComplEx", Dim: 512, Seed: 5, Snapshot: snapshotModel(t, g, "ComplEx", 512, 5)},
+		Strategy: "full",
+	}).ID
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+"/v1/jobs/"+id+"/stream", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read the initial snapshot, then hang up mid-stream.
+	buf := make([]byte, 256)
+	if _, err := resp.Body.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	resp.Body.Close()
+
+	// The job must run to completion despite the disconnect.
+	st := waitTerminal(t, srv.URL, id)
+	if st.State != StateSucceeded {
+		t.Fatalf("job after client disconnect: state %s, error %q", st.State, st.Error)
+	}
+
+	// The stream handler goroutine must exit. Goroutine counts are noisy
+	// (worker pool, http keepalives), so poll until the count returns near
+	// the baseline instead of comparing exactly.
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > before+10 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before stream, %d after disconnect", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

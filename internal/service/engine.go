@@ -7,12 +7,15 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math/rand"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"time"
 
 	"kgeval/internal/core"
 	"kgeval/internal/eval"
+	"kgeval/internal/faults"
 	"kgeval/internal/kg"
 	"kgeval/internal/kgc"
 	"kgeval/internal/kgc/store"
@@ -62,13 +65,45 @@ type EngineConfig struct {
 	// 0 or 1 records a span per relation chunk on traced jobs, N > 1 every
 	// Nth chunk, negative none.
 	TraceChunkSample int
+	// DefaultTimeout is the end-to-end deadline applied to jobs that leave
+	// TimeoutMS 0 (queue wait + Fit + evaluation). 0 means no default —
+	// only jobs that ask for a deadline get one.
+	DefaultTimeout time.Duration
+	// MemoryBudget, when > 0, gates admission on the job's estimated
+	// working set in bytes: over-budget jobs at the default precision are
+	// degraded to float32; jobs over budget even then (or explicitly
+	// requesting float64) are rejected with a *MemoryBudgetError instead of
+	// being allowed to OOM the process.
+	MemoryBudget int64
+	// FitFailureThreshold is the number of consecutive Fit failures (or
+	// panics) for one cache key before the circuit breaker quarantines it
+	// (default 3).
+	FitFailureThreshold int
+	// FitQuarantine is the first quarantine window; each re-trip doubles it
+	// up to FitQuarantineMax (defaults 1s and 5m).
+	FitQuarantine    time.Duration
+	FitQuarantineMax time.Duration
+	// FitRetries is how many times one job retries a transiently failing
+	// Fit with jittered backoff before giving up (default 2; negative
+	// disables retries).
+	FitRetries int
+	// FitRetryBackoff is the base retry backoff, doubled per attempt and
+	// jittered (default 100ms).
+	FitRetryBackoff time.Duration
 }
 
-// ErrQueueFull is returned by Submit when the job queue is saturated.
+// ErrQueueFull is returned by Submit when the job queue is saturated. The
+// HTTP layer maps it to 429 with a Retry-After computed from queue depth
+// and recent throughput (Engine.RetryAfter).
 var ErrQueueFull = errors.New("service: job queue full")
 
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("service: engine closed")
+
+// ErrDraining is returned by Submit while a graceful drain is in progress:
+// running jobs are finishing, queued jobs are being canceled, and no new
+// work is admitted.
+var ErrDraining = errors.New("service: engine draining, not accepting jobs")
 
 // Engine owns a graph, a fitted-Framework cache and a bounded worker pool,
 // executing evaluation jobs submitted against the graph.
@@ -79,18 +114,21 @@ type Engine struct {
 	filter *kg.FilterIndex
 	cache  *FrameworkCache
 
-	queue   chan *Job
-	quit    chan struct{}
-	wg      sync.WaitGroup
-	reg     *obs.Registry
-	metrics *engineMetrics
-	traces  *trace.Store
+	queue       chan *Job
+	quit        chan struct{}
+	wg          sync.WaitGroup
+	reg         *obs.Registry
+	metrics     *engineMetrics
+	traces      *trace.Store
+	breaker     *fitBreaker
+	completions *completionWindow
 
-	mu     sync.Mutex
-	jobs   map[string]*Job
-	order  []*Job // submission order, for listing
-	nextID int64
-	closed bool
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []*Job // submission order, for listing
+	nextID   int64
+	closed   bool
+	draining bool
 }
 
 // NewEngine validates the config, builds the filtered-protocol index once,
@@ -129,17 +167,37 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	if cfg.Traces == nil {
 		cfg.Traces = trace.NewStore(0, 0)
 	}
+	if cfg.FitFailureThreshold <= 0 {
+		cfg.FitFailureThreshold = 3
+	}
+	if cfg.FitQuarantine <= 0 {
+		cfg.FitQuarantine = time.Second
+	}
+	if cfg.FitQuarantineMax <= 0 {
+		cfg.FitQuarantineMax = 5 * time.Minute
+	}
+	switch {
+	case cfg.FitRetries == 0:
+		cfg.FitRetries = 2
+	case cfg.FitRetries < 0:
+		cfg.FitRetries = 0
+	}
+	if cfg.FitRetryBackoff <= 0 {
+		cfg.FitRetryBackoff = 100 * time.Millisecond
+	}
 	e := &Engine{
-		cfg:    cfg,
-		graph:  cfg.Graph,
-		fp:     core.Fingerprint(cfg.Graph),
-		filter: kg.NewFilterIndex(cfg.Graph.Train, cfg.Graph.Valid, cfg.Graph.Test),
-		cache:  NewFrameworkCache(cfg.CacheSize),
-		queue:  make(chan *Job, cfg.QueueDepth),
-		quit:   make(chan struct{}),
-		jobs:   map[string]*Job{},
-		reg:    cfg.Metrics,
-		traces: cfg.Traces,
+		cfg:         cfg,
+		graph:       cfg.Graph,
+		fp:          core.Fingerprint(cfg.Graph),
+		filter:      kg.NewFilterIndex(cfg.Graph.Train, cfg.Graph.Valid, cfg.Graph.Test),
+		cache:       NewFrameworkCache(cfg.CacheSize),
+		queue:       make(chan *Job, cfg.QueueDepth),
+		quit:        make(chan struct{}),
+		jobs:        map[string]*Job{},
+		reg:         cfg.Metrics,
+		traces:      cfg.Traces,
+		breaker:     newFitBreaker(cfg.FitFailureThreshold, cfg.FitQuarantine, cfg.FitQuarantineMax),
+		completions: &completionWindow{},
 	}
 	e.metrics = newEngineMetrics(e.reg, e)
 	for i := 0; i < cfg.Workers; i++ {
@@ -164,13 +222,21 @@ func (e *Engine) Metrics() *obs.Registry { return e.reg }
 func (e *Engine) Traces() *trace.Store { return e.traces }
 
 // Accepting reports whether Submit can currently succeed: the engine is
-// open and the queue has room. This is the readiness signal behind
-// GET /readyz.
+// open, not draining, and the queue has room. This is the readiness signal
+// behind GET /readyz.
 func (e *Engine) Accepting() bool {
 	e.mu.Lock()
-	closed := e.closed
+	unavailable := e.closed || e.draining
 	e.mu.Unlock()
-	return !closed && len(e.queue) < cap(e.queue)
+	return !unavailable && len(e.queue) < cap(e.queue)
+}
+
+// Draining reports whether a graceful drain is in progress (or the engine
+// has been closed).
+func (e *Engine) Draining() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.draining
 }
 
 // Submit validates the spec, registers a job and enqueues it. The job is
@@ -192,8 +258,17 @@ func (e *Engine) SubmitCtx(ctx context.Context, spec JobSpec) (*Job, error) {
 		e.metrics.jobsRejected.Inc()
 		return nil, err
 	}
+	spec, degraded, err := e.admit(spec)
+	if err != nil {
+		e.metrics.shed(shedMemoryBudget)
+		return nil, err
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.draining {
+		e.metrics.shed(shedDraining)
+		return nil, ErrDraining
+	}
 	if e.closed {
 		e.metrics.jobsRejected.Inc()
 		return nil, ErrClosed
@@ -209,13 +284,22 @@ func (e *Engine) SubmitCtx(ctx context.Context, spec JobSpec) (*Job, error) {
 		trace.String("split", spec.Split), trace.Int("num_samples", spec.NumSamples))
 	j := newJob(id, spec, span)
 	j.metrics = e.metrics
+	if degraded {
+		j.degraded = true
+		e.metrics.jobsDegraded.Inc()
+		span.SetAttrs(trace.Bool("precision_degraded", true))
+	}
 	// Registration and the non-blocking enqueue stay in one critical
 	// section so a queue-full rejection never rolls back another
 	// goroutine's registration.
 	select {
 	case e.queue <- j:
 	default:
-		e.metrics.jobsRejected.Inc()
+		e.metrics.shed(shedQueueFull)
+		// Release the rejected job's context so a deadline watcher (if the
+		// spec carried a timeout) can never fire an expired transition for a
+		// job that was never admitted.
+		j.cancel()
 		j.queueSpan.End()
 		j.span.End(trace.String("state", "rejected"), trace.String("error", ErrQueueFull.Error()))
 		if rooted {
@@ -270,6 +354,9 @@ func (e *Engine) withDefaults(spec JobSpec) JobSpec {
 	}
 	if spec.Seed == 0 {
 		spec.Seed = e.cfg.DefaultSeed
+	}
+	if spec.TimeoutMS == 0 && e.cfg.DefaultTimeout > 0 {
+		spec.TimeoutMS = int(e.cfg.DefaultTimeout / time.Millisecond)
 	}
 	return spec
 }
@@ -333,6 +420,9 @@ func (e *Engine) validate(spec JobSpec) error {
 	if spec.MaxQueries < 0 {
 		return errors.New("service: max_queries must be >= 0")
 	}
+	if spec.TimeoutMS < 0 {
+		return errors.New("service: timeout_ms must be >= 0")
+	}
 	if _, err := store.ParsePrecision(spec.Precision); err != nil {
 		return fmt.Errorf("service: %w", err)
 	}
@@ -355,14 +445,16 @@ func (e *Engine) Jobs() []*Job {
 }
 
 // Close stops accepting jobs, cancels everything pending or running, and
-// waits for the workers to drain.
+// waits for the workers to exit. For a shutdown that lets running jobs
+// finish, use Drain. Close after (or during) a Drain is a no-op.
 func (e *Engine) Close() {
 	e.mu.Lock()
-	if e.closed {
+	if e.closed || e.draining {
 		e.mu.Unlock()
 		return
 	}
 	e.closed = true
+	e.draining = true
 	jobs := append([]*Job(nil), e.order...)
 	e.mu.Unlock()
 
@@ -371,6 +463,59 @@ func (e *Engine) Close() {
 		j.Cancel()
 	}
 	e.wg.Wait()
+}
+
+// Drain performs a graceful shutdown: admission stops immediately (Submit
+// returns ErrDraining, Accepting — and through it /readyz — reports
+// unavailable), queued jobs are canceled with a terminal event telling
+// clients the server is draining, and running jobs are given up to timeout
+// to finish before being canceled. Drain returns once every worker has
+// exited; the engine is closed afterwards.
+func (e *Engine) Drain(timeout time.Duration) {
+	e.mu.Lock()
+	if e.closed || e.draining {
+		e.mu.Unlock()
+		return
+	}
+	e.draining = true
+	e.mu.Unlock()
+
+	// Shed the queue: these jobs never ran, and with admission stopped no
+	// new ones can appear, so this loop and the workers between them empty
+	// the channel (each job goes to exactly one of us).
+	for {
+		select {
+		case j := <-e.queue:
+			if j.shed("service: canceled by graceful drain before running") {
+				e.metrics.jobsDrained.Inc()
+			}
+			continue
+		default:
+		}
+		break
+	}
+
+	// Let workers finish their current job and exit; after timeout, cancel
+	// whatever is still running and wait for the cancellation to land.
+	close(e.quit)
+	done := make(chan struct{})
+	go func() {
+		e.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		slog.Warn("drain timeout exceeded, canceling running jobs", "timeout", timeout)
+		for _, j := range e.Jobs() {
+			j.Cancel()
+		}
+		<-done
+	}
+
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
 }
 
 func (e *Engine) worker() {
@@ -387,20 +532,34 @@ func (e *Engine) worker() {
 
 func (e *Engine) run(j *Job) {
 	if !j.transition(StateRunning, nil) {
-		return // cancelled while queued
+		return // cancelled or expired while queued
 	}
 	defer e.metrics.workerBusy()()
 	// A panic in evaluation (a malformed snapshot driving a model into an
-	// impossible state) must fail the one job, not kill the worker pool.
+	// impossible state, or an injected chaos fault) must fail the one job,
+	// not kill the worker pool. The panic message AND stack go into the
+	// job's error status and onto its trace span: "which graph poisoned the
+	// worker" must be answerable from GET /v1/jobs/{id} alone.
 	defer func() {
 		if r := recover(); r != nil {
-			j.fail(fmt.Errorf("service: evaluation panicked: %v", r))
+			stack := debug.Stack()
+			j.span.Event("panic", trace.String("error", fmt.Sprint(r)),
+				trace.String("stack", string(stack)))
+			j.fail(fmt.Errorf("service: evaluation panicked: %v\n\n%s", r, stack))
 		}
 	}()
+	// Chaos hook: an armed service/worker site can stall (deadline drills),
+	// fail or panic the job right where evaluation would start.
+	if err := faults.HitCtx(j.ctx, faults.SiteWorker); err != nil && j.ctx.Err() == nil {
+		j.fail(fmt.Errorf("service: worker fault: %w", err))
+		e.logSlowJob(j)
+		return
+	}
 	names, results, cacheHit, err := e.execute(j)
 	switch {
 	case j.ctx.Err() != nil:
-		// Cancel already finalized the state; nothing to record.
+		// Cancellation or deadline already finalized the state (Cancel flips
+		// canceled, the deadline watcher flips expired); nothing to record.
 	case err != nil:
 		j.fail(err)
 	case len(j.Spec.Models) > 0:
@@ -529,23 +688,97 @@ func (e *Engine) execute(j *Job) ([]string, []eval.Result, bool, error) {
 	if err != nil {
 		return nil, nil, false, err
 	}
-	key := CacheKey{Graph: e.fp, Recommender: spec.Recommender, NumSamples: spec.NumSamples}
-	fw, cacheHit, err := e.cache.Get(j.ctx, key, func() (*core.Framework, error) {
-		rec, err := recommender.ByName(spec.Recommender, e.cfg.DefaultSeed)
-		if err != nil {
-			return nil, err
-		}
-		fw := core.New(rec, spec.NumSamples, e.cfg.DefaultSeed)
-		if err := fw.FitCtx(j.ctx, e.graph); err != nil {
-			return nil, err
-		}
-		return fw, nil
-	})
+	fw, cacheHit, err := e.fitFramework(j, spec)
 	if err != nil {
 		return nil, nil, cacheHit, err
 	}
 	res := fw.EstimateMany(models, e.graph, split, strategy, opts)
 	return names, res, cacheHit, nil
+}
+
+// fitFramework resolves (or builds) the fitted framework for a job, wrapped
+// in the fault-tolerance machinery: the circuit breaker fails quarantined
+// keys fast, build panics are converted to errors, and transient failures
+// are retried with jittered exponential backoff. Only the caller that
+// actually ran the failing build (not single-flight joiners) feeds the
+// breaker, so one failure counts once however many jobs were waiting on it.
+func (e *Engine) fitFramework(j *Job, spec JobSpec) (*core.Framework, bool, error) {
+	key := CacheKey{Graph: e.fp, Recommender: spec.Recommender, NumSamples: spec.NumSamples}
+	for attempt := 0; ; attempt++ {
+		if qerr := e.breaker.allow(key); qerr != nil {
+			e.metrics.fitRejected.Inc()
+			return nil, false, qerr
+		}
+		fw, cacheHit, err := e.cache.Get(j.ctx, key, func() (*core.Framework, error) {
+			return e.buildFramework(j, spec)
+		})
+		if err == nil {
+			e.breaker.success(key)
+			return fw, cacheHit, nil
+		}
+		// A canceled or expired job is not evidence against the key.
+		if j.ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, cacheHit, err
+		}
+		if !cacheHit {
+			e.metrics.fitFailures.Inc()
+			if tripped, window := e.breaker.failure(key); tripped {
+				e.metrics.fitTrips.Inc()
+				slog.Warn("fit quarantined",
+					"recommender", key.Recommender, "num_samples", key.NumSamples,
+					"window", window, "err", err)
+			}
+		}
+		if attempt >= e.cfg.FitRetries {
+			return nil, cacheHit, err
+		}
+		e.metrics.fitRetries.Inc()
+		if !sleepJittered(j.ctx, e.cfg.FitRetryBackoff<<attempt) {
+			return nil, cacheHit, j.ctx.Err()
+		}
+	}
+}
+
+// buildFramework is the cache's build function: fit the recommender and
+// discretize its candidate sets. A panic inside Fit (a poison graph) is
+// recovered into an error carrying the stack, so it flows through the
+// retry/breaker path like any other failure instead of killing the worker.
+func (e *Engine) buildFramework(j *Job, spec JobSpec) (fw *core.Framework, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("service: fit panicked: %v\n\n%s", r, debug.Stack())
+		}
+	}()
+	if err := faults.HitCtx(j.ctx, faults.SiteFit); err != nil {
+		return nil, err
+	}
+	rec, err := recommender.ByName(spec.Recommender, e.cfg.DefaultSeed)
+	if err != nil {
+		return nil, err
+	}
+	fw = core.New(rec, spec.NumSamples, e.cfg.DefaultSeed)
+	if err := fw.FitCtx(j.ctx, e.graph); err != nil {
+		return nil, err
+	}
+	return fw, nil
+}
+
+// sleepJittered sleeps for a uniformly jittered duration in [d/2, 3d/2),
+// returning false if ctx ended the wait early. Jitter decorrelates the
+// retry storms of jobs that failed together.
+func sleepJittered(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	d = d/2 + time.Duration(rand.Int63n(int64(d)))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // EngineStats aggregates engine-level counters for the stats endpoint.
@@ -557,6 +790,10 @@ type EngineStats struct {
 	Cache     CacheStats    `json:"cache"`
 	GraphName string        `json:"graph"`
 	GraphFP   string        `json:"graph_fingerprint"`
+	// Draining reports a graceful drain in progress (or a closed engine);
+	// QuarantinedFitKeys counts fit keys currently circuit-broken.
+	Draining           bool `json:"draining,omitempty"`
+	QuarantinedFitKeys int  `json:"quarantined_fit_keys,omitempty"`
 }
 
 // Stats snapshots job counts by state, queue occupancy and cache traffic.
@@ -565,13 +802,15 @@ func (e *Engine) Stats() EngineStats {
 	jobs := append([]*Job(nil), e.order...)
 	e.mu.Unlock()
 	st := EngineStats{
-		Jobs:      map[State]int{},
-		QueueLen:  len(e.queue),
-		QueueCap:  cap(e.queue),
-		Workers:   e.cfg.Workers,
-		Cache:     e.cache.Stats(),
-		GraphName: e.graph.Name,
-		GraphFP:   e.fp,
+		Jobs:               map[State]int{},
+		QueueLen:           len(e.queue),
+		QueueCap:           cap(e.queue),
+		Workers:            e.cfg.Workers,
+		Cache:              e.cache.Stats(),
+		GraphName:          e.graph.Name,
+		GraphFP:            e.fp,
+		Draining:           e.Draining(),
+		QuarantinedFitKeys: e.breaker.openKeys(),
 	}
 	for _, j := range jobs {
 		st.Jobs[j.State()]++

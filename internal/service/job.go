@@ -31,8 +31,9 @@ import (
 
 // State is a job's lifecycle phase. Valid transitions:
 //
-//	queued → running → succeeded | failed | canceled
+//	queued → running → succeeded | failed | canceled | expired
 //	queued → canceled            (cancelled before a worker picked it up)
+//	queued → expired             (deadline passed while still waiting)
 type State string
 
 const (
@@ -41,11 +42,16 @@ const (
 	StateSucceeded State = "succeeded"
 	StateFailed    State = "failed"
 	StateCanceled  State = "canceled"
+	// StateExpired is the terminal state of a job whose deadline
+	// (JobSpec.TimeoutMS, or the engine default) passed — whether it was
+	// still queued or already running. The deadline covers the job's whole
+	// lifetime: queue wait, framework Fit, and evaluation.
+	StateExpired State = "expired"
 )
 
 // Terminal reports whether no further transitions can occur.
 func (s State) Terminal() bool {
-	return s == StateSucceeded || s == StateFailed || s == StateCanceled
+	return s == StateSucceeded || s == StateFailed || s == StateCanceled || s == StateExpired
 }
 
 // ModelSpec identifies a serialized model snapshot. The snapshot bytes are
@@ -90,6 +96,13 @@ type JobSpec struct {
 	// Reduced precisions trade a bounded MRR deviation for smaller stores
 	// and faster scoring.
 	Precision string `json:"precision,omitempty"`
+	// TimeoutMS is the job's end-to-end deadline in milliseconds, counted
+	// from submission and covering queue wait, framework Fit and
+	// evaluation. 0 applies the engine default (EngineConfig.DefaultTimeout;
+	// no deadline if that is unset too). A job whose deadline passes reaches
+	// the terminal state "expired" — immediately if still queued, at the
+	// next cancellation point if running.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
 }
 
 // Progress is a monotone completion counter over the job's query triples.
@@ -132,6 +145,7 @@ type Job struct {
 	results  []ModelResult // multi-model jobs only
 	errMsg   string
 	cacheHit bool
+	degraded bool // precision lowered by the memory-budget admission gate
 	created  time.Time
 	started  time.Time
 	finished time.Time
@@ -142,9 +156,23 @@ type Job struct {
 // span: the job context carries it (NOT the submitting request's context —
 // the job must survive the HTTP request that created it), so the evaluation
 // pipeline parents its spans under the job.
+//
+// A positive Spec.TimeoutMS puts a deadline on the job context — the same
+// context queue wait, Fit and evaluation observe — and arms a watcher that
+// flips the job to expired the moment the deadline passes, so even a job no
+// worker ever picks up reaches a terminal state (and its SSE subscribers a
+// terminal event) on time.
 func newJob(id string, spec JobSpec, span *trace.Span) *Job {
-	ctx, cancel := context.WithCancel(trace.ContextWith(context.Background(), span))
-	return &Job{
+	base := trace.ContextWith(context.Background(), span)
+	var ctx context.Context
+	var cancel context.CancelFunc
+	timeout := time.Duration(spec.TimeoutMS) * time.Millisecond
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(base, timeout)
+	} else {
+		ctx, cancel = context.WithCancel(base)
+	}
+	j := &Job{
 		ID:        id,
 		Spec:      spec,
 		ctx:       ctx,
@@ -155,6 +183,18 @@ func newJob(id string, spec JobSpec, span *trace.Span) *Job {
 		created:   time.Now(),
 		subs:      map[chan Event]struct{}{},
 	}
+	if timeout > 0 {
+		// AfterFunc also runs when the job finishes (terminal transitions
+		// cancel the context to release this watcher); only a deadline-caused
+		// Done expires the job, and expire on an already-terminal job is a
+		// no-op.
+		context.AfterFunc(ctx, func() {
+			if context.Cause(ctx) == context.DeadlineExceeded {
+				j.expire()
+			}
+		})
+	}
+	return j
 }
 
 // TraceID returns the hex trace ID of the job's trace, or "" when untraced.
@@ -172,10 +212,10 @@ func (j *Job) transition(next State, onApply func()) bool {
 		return false
 	}
 	j.state = next
-	switch next {
-	case StateRunning:
+	switch {
+	case next == StateRunning:
 		j.started = time.Now()
-	case StateSucceeded, StateFailed, StateCanceled:
+	case next.Terminal():
 		j.finished = time.Now()
 	}
 	if onApply != nil {
@@ -190,6 +230,11 @@ func (j *Job) transition(next State, onApply func()) bool {
 		// path).
 		j.queueSpan.End()
 		j.span.End(trace.String("state", string(next)), trace.Bool("cache_hit", j.cacheHit))
+		// Release the context: frees the deadline timer/watcher of jobs with
+		// a timeout and makes ctx.Err() a reliable "job is settled" signal.
+		// AfterFunc watchers run on their own goroutine, so cancelling under
+		// j.mu cannot deadlock with expire().
+		j.cancel()
 	}
 	j.metrics.observeTransition(next, j)
 	j.publishLocked(Event{Type: "state", State: next})
@@ -206,9 +251,9 @@ func (j *Job) transition(next State, onApply func()) bool {
 func validTransition(from, to State) bool {
 	switch from {
 	case StateQueued:
-		return to == StateRunning || to == StateCanceled
+		return to == StateRunning || to == StateCanceled || to == StateExpired
 	case StateRunning:
-		return to == StateSucceeded || to == StateFailed || to == StateCanceled
+		return to.Terminal()
 	}
 	return false
 }
@@ -263,6 +308,24 @@ func (j *Job) succeedMany(names []string, res []eval.Result, cacheHit bool) bool
 
 func (j *Job) fail(err error) bool {
 	return j.transition(StateFailed, func() { j.errMsg = err.Error() })
+}
+
+// expire finalizes a job whose deadline passed, whether it was queued or
+// running. The context is already Done (the deadline fired it), so an
+// in-flight evaluation stops at its next cancellation point.
+func (j *Job) expire() bool {
+	return j.transition(StateExpired, func() {
+		j.errMsg = fmt.Sprintf("service: job deadline exceeded (timeout_ms=%d)", j.Spec.TimeoutMS)
+	})
+}
+
+// shed cancels a queued job administratively (graceful drain), recording
+// reason as the job error so clients learn why it never ran. Subscribers
+// get the terminal state event and stream close like any other terminal
+// transition.
+func (j *Job) shed(reason string) bool {
+	j.cancel()
+	return j.transition(StateCanceled, func() { j.errMsg = reason })
 }
 
 // publishLocked fans an event out to subscribers without blocking: a
@@ -342,8 +405,14 @@ type Status struct {
 	Recommender string   `json:"recommender,omitempty"`
 	NumSamples  int      `json:"num_samples,omitempty"`
 	Precision   string   `json:"precision,omitempty"`
-	CacheHit    bool     `json:"cache_hit"`
-	Progress    Progress `json:"progress"`
+	// PrecisionDegraded marks jobs whose precision the memory-budget
+	// admission gate lowered from the float64 default to float32.
+	PrecisionDegraded bool `json:"precision_degraded,omitempty"`
+	// TimeoutMS echoes the job's effective deadline (spec value, or the
+	// engine default applied at submission); 0 = no deadline.
+	TimeoutMS int      `json:"timeout_ms,omitempty"`
+	CacheHit  bool     `json:"cache_hit"`
+	Progress  Progress `json:"progress"`
 	// ThroughputTPS and ETAMS enrich progress snapshots of running jobs:
 	// evaluated triples per second since the job started, and the linear
 	// extrapolation of the time remaining. Zero until the first progress.
@@ -367,19 +436,21 @@ func (j *Job) Status() Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := Status{
-		ID:          j.ID,
-		State:       j.state,
-		Model:       j.Spec.Model.Name,
-		Split:       j.Spec.Split,
-		Strategy:    j.Spec.Strategy,
-		Recommender: j.Spec.Recommender,
-		NumSamples:  j.Spec.NumSamples,
-		Precision:   j.Spec.Precision,
-		CacheHit:    j.cacheHit,
-		Progress:    j.progress,
-		Error:       j.errMsg,
-		CreatedAt:   j.created,
-		TraceID:     j.span.TraceID(),
+		ID:                j.ID,
+		State:             j.state,
+		Model:             j.Spec.Model.Name,
+		Split:             j.Spec.Split,
+		Strategy:          j.Spec.Strategy,
+		Recommender:       j.Spec.Recommender,
+		NumSamples:        j.Spec.NumSamples,
+		Precision:         j.Spec.Precision,
+		PrecisionDegraded: j.degraded,
+		TimeoutMS:         j.Spec.TimeoutMS,
+		CacheHit:          j.cacheHit,
+		Progress:          j.progress,
+		Error:             j.errMsg,
+		CreatedAt:         j.created,
+		TraceID:           j.span.TraceID(),
 	}
 	switch {
 	case !j.started.IsZero():

@@ -4,6 +4,14 @@ import (
 	"kgeval/internal/obs"
 )
 
+// Shed reasons label the kgeval_jobs_shed_total counter: admission-control
+// rejections that are about capacity, not request validity.
+const (
+	shedQueueFull    = "queue_full"
+	shedMemoryBudget = "memory_budget"
+	shedDraining     = "draining"
+)
+
 // engineMetrics holds the engine's instruments. Each engine registers in
 // its own Registry (EngineConfig.Metrics, a fresh one by default), so
 // multiple engines in one process — the test suite, or a future
@@ -15,26 +23,56 @@ type engineMetrics struct {
 	jobsSubmitted *obs.Counter
 	jobsRejected  *obs.Counter
 	jobsDone      map[State]*obs.Counter
+	jobsShed      map[string]*obs.Counter
+	jobsDegraded  *obs.Counter
+	jobsDrained   *obs.Counter
+	fitRetries    *obs.Counter
+	fitFailures   *obs.Counter
+	fitTrips      *obs.Counter
+	fitRejected   *obs.Counter
 	queueWait     *obs.Histogram
 	runSeconds    map[State]*obs.Histogram
 	busyWorkers   *obs.Gauge
+	// completions feeds the Retry-After estimate with recent terminal
+	// timestamps; owned by the engine, observed here on every terminal
+	// transition.
+	completions *completionWindow
 }
 
 func newEngineMetrics(reg *obs.Registry, e *Engine) *engineMetrics {
 	m := &engineMetrics{
 		jobsSubmitted: reg.Counter("kgeval_jobs_submitted_total", "Jobs accepted by Submit."),
-		jobsRejected:  reg.Counter("kgeval_jobs_rejected_total", "Jobs rejected at submission (validation failure, queue full, engine closed)."),
+		jobsRejected:  reg.Counter("kgeval_jobs_rejected_total", "Jobs rejected at submission (validation failure, queue full, memory budget, draining, engine closed)."),
 		jobsDone:      map[State]*obs.Counter{},
+		jobsShed:      map[string]*obs.Counter{},
+		jobsDegraded: reg.Counter("kgeval_jobs_degraded_total",
+			"Jobs whose precision the memory-budget gate lowered from float64 to float32."),
+		jobsDrained: reg.Counter("kgeval_jobs_drained_total",
+			"Queued jobs canceled with a terminal event by a graceful drain."),
+		fitRetries: reg.Counter("kgeval_fit_retries_total",
+			"Transient framework-Fit failures retried with backoff."),
+		fitFailures: reg.Counter("kgeval_fit_failures_total",
+			"Framework Fit builds that failed or panicked (excludes cancellations)."),
+		fitTrips: reg.Counter("kgeval_fit_quarantine_trips_total",
+			"Times a fit key crossed the failure threshold and entered quarantine."),
+		fitRejected: reg.Counter("kgeval_fit_quarantined_total",
+			"Jobs failed fast because their fit key was quarantined by the circuit breaker."),
 		queueWait: reg.Histogram("kgeval_job_queue_wait_seconds",
 			"Time jobs spend queued before a worker picks them up.", obs.DurationBuckets),
 		runSeconds:  map[State]*obs.Histogram{},
 		busyWorkers: reg.Gauge("kgeval_workers_busy", "Workers currently executing a job."),
+		completions: e.completions,
 	}
-	for _, st := range []State{StateSucceeded, StateFailed, StateCanceled} {
+	for _, st := range []State{StateSucceeded, StateFailed, StateCanceled, StateExpired} {
 		l := obs.Label{Key: "state", Value: string(st)}
 		m.jobsDone[st] = reg.Counter("kgeval_jobs_completed_total", "Jobs finished, by terminal state.", l)
 		m.runSeconds[st] = reg.Histogram("kgeval_job_run_seconds",
 			"Time from a worker picking a job up to its terminal state.", obs.DurationBuckets, l)
+	}
+	for _, reason := range []string{shedQueueFull, shedMemoryBudget, shedDraining} {
+		m.jobsShed[reason] = reg.Counter("kgeval_jobs_shed_total",
+			"Submissions shed by admission control, by reason.",
+			obs.Label{Key: "reason", Value: reason})
 	}
 
 	reg.GaugeFunc("kgeval_job_queue_depth", "Jobs waiting for a worker.",
@@ -43,6 +81,15 @@ func newEngineMetrics(reg *obs.Registry, e *Engine) *engineMetrics {
 		func() float64 { return float64(cap(e.queue)) })
 	reg.GaugeFunc("kgeval_workers", "Configured worker count.",
 		func() float64 { return float64(e.cfg.Workers) })
+	reg.GaugeFunc("kgeval_draining", "1 while the engine is draining (admission stopped), else 0.",
+		func() float64 {
+			if e.Draining() {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("kgeval_fit_quarantined_keys", "Fit keys currently quarantined by the circuit breaker.",
+		func() float64 { return float64(e.breaker.openKeys()) })
 
 	cacheStat := func(f func(CacheStats) int64) func() int64 {
 		return func() int64 { return f(e.cache.Stats()) }
@@ -79,6 +126,19 @@ func (m *engineMetrics) observeTransition(next State, j *Job) {
 		if !j.started.IsZero() {
 			m.runSeconds[next].ObserveExemplar(j.finished.Sub(j.started).Seconds(), j.TraceID())
 		}
+		m.completions.note(j.finished)
+	}
+}
+
+// shed counts one admission-control rejection under its reason (and in the
+// overall rejected counter).
+func (m *engineMetrics) shed(reason string) {
+	if m == nil {
+		return
+	}
+	m.jobsRejected.Inc()
+	if c, ok := m.jobsShed[reason]; ok {
+		c.Inc()
 	}
 }
 

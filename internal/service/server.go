@@ -138,6 +138,16 @@ func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, errorBody{Error: err.Error()})
 }
 
+// retryAfterSeconds formats a duration as the integral seconds the
+// Retry-After header requires, rounding up so clients never come back early.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return fmt.Sprintf("%d", secs)
+}
+
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	g := s.engine.Graph()
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -150,11 +160,17 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleReady is the readiness probe: 200 while the engine accepts jobs,
-// 503 once it is closed or the queue is saturated — the signal a load
-// balancer uses to stop routing submissions here.
+// 503 once it is draining, closed, or the queue is saturated — the signal a
+// load balancer uses to stop routing submissions here. The body names the
+// reason so an operator watching a rollout can tell drain from overload.
 func (s *server) handleReady(w http.ResponseWriter, r *http.Request) {
 	if !s.engine.Accepting() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "unavailable"})
+		reason := "queue_full"
+		if s.engine.Draining() {
+			reason = "draining"
+		}
+		writeJSON(w, http.StatusServiceUnavailable,
+			map[string]any{"status": "unavailable", "reason": reason})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
@@ -243,11 +259,29 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	j, err := s.engine.SubmitCtx(r.Context(), spec)
 	if err != nil {
-		code := http.StatusBadRequest
-		if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrClosed) {
-			code = http.StatusServiceUnavailable
+		var memErr *MemoryBudgetError
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			// Load shedding: tell the client when a slot should free up,
+			// derived from queue depth over recent drain throughput.
+			w.Header().Set("Retry-After", retryAfterSeconds(s.engine.RetryAfter()))
+			writeError(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, ErrDraining):
+			w.Header().Set("Retry-After", retryAfterSeconds(defaultRetryAfter))
+			writeError(w, http.StatusServiceUnavailable, err)
+		case errors.Is(err, ErrClosed):
+			writeError(w, http.StatusServiceUnavailable, err)
+		case errors.As(err, &memErr):
+			// The structured body tells the client what to shrink.
+			writeJSON(w, http.StatusTooManyRequests, map[string]any{
+				"error":           memErr.Error(),
+				"code":            "memory_budget",
+				"estimated_bytes": memErr.EstimatedBytes,
+				"budget_bytes":    memErr.BudgetBytes,
+			})
+		default:
+			writeError(w, http.StatusBadRequest, err)
 		}
-		writeError(w, code, err)
 		return
 	}
 	w.Header().Set("Location", "/v1/jobs/"+j.ID)

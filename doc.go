@@ -38,7 +38,10 @@
 //	internal/kgc          TransE/DistMult/ComplEx/RESCAL/RotatE/TuckER/ConvE;
 //	                      the embedding models implement BatchScorer, scoring
 //	                      all queries of a relation against one gathered
-//	                      candidate block
+//	                      candidate block; at int8 precision the translational
+//	                      and dot-product kernels score raw quantized rows
+//	                      (tile-local dequantization, bit-identical scores,
+//	                      no materialized float64 block)
 //	internal/kp           Knowledge Persistence baseline
 //	internal/synth        typed synthetic KG generator (dataset substitute)
 //	internal/experiments  regenerates every table and figure of the paper

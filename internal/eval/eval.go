@@ -87,6 +87,13 @@ type StageTimings struct {
 	// plan compile time (kgc.TileFor over pool size × dim × precision); 0
 	// when the pass ran the per-query executor.
 	KernelTile int
+	// KernelLane names the batch execution lane the pass selected:
+	// "int8-native" when Int8 precision ran the raw-quantized-row kernels,
+	// "int8-dequant" when Int8 expanded pools to float64 blocks first
+	// (models without a native kernel, or Options.Int8Dequant), "dequant"
+	// for the float64/float32 gather-expand path, and "" when the pass ran
+	// the per-query executor.
+	KernelLane string
 }
 
 // Options configure an evaluation pass.
@@ -121,6 +128,13 @@ type Options struct {
 	// PerQuery executor and by models without a native batch lane, which
 	// always score at float64.
 	Precision store.Precision
+	// Int8Dequant forces the dequantize-first execution path when Precision
+	// is Int8, even for models with an int8-native kernel: the pool is
+	// expanded to a float64 block before scoring. Metrics are bit-identical
+	// either way (the native lane runs the same arithmetic tile-locally);
+	// this knob exists as the reference lane for equivalence tests and
+	// paired benchmarks. Ignored at other precisions.
+	Int8Dequant bool
 	// Ctx, when non-nil, allows cancelling an evaluation mid-pass. On
 	// cancellation Evaluate returns early with metrics computed over the
 	// queries completed so far (Result.Queries reflects the partial count).

@@ -12,6 +12,7 @@ import (
 	"kgeval/internal/faults"
 	"kgeval/internal/kg"
 	"kgeval/internal/kgc"
+	"kgeval/internal/kgc/store"
 	"kgeval/internal/obs/trace"
 )
 
@@ -213,15 +214,18 @@ func runPass(m kgc.Model, p *plan, opts Options, progressTotal int, done *atomic
 	var scored atomic.Int64
 	var clock stageClock
 	var tile int
+	var lane string
 	if opts.PerQuery {
 		runPerQuery(m, p, opts, progressTotal, done, &scored, &clock, ranks)
 	} else {
 		tile = kgc.TileFor(p.maxPool, m.Dim(), opts.Precision)
-		runBatch(m, p, opts, tile, progressTotal, done, &scored, &clock, ranks, pass)
+		lane = kernelLane(m, opts)
+		runBatch(m, p, opts, tile, lane, progressTotal, done, &scored, &clock, ranks, pass)
 	}
 	res := Result{Metrics: metricsFromRanks(ranks), CandidatesScored: scored.Load()}
 	res.Stages.Score, res.Stages.RankMerge = clock.timings()
 	res.Stages.KernelTile = tile
+	res.Stages.KernelLane = lane
 	if pass != nil {
 		// Score and rank_merge are CPU time summed across workers (see
 		// StageTimings), not wall intervals; they are rendered as synthetic
@@ -232,7 +236,7 @@ func runPass(m kgc.Model, p *plan, opts Options, progressTotal int, done *atomic
 		pass.ChildRecord("eval.rank_merge", passStart, passStart.Add(res.Stages.RankMerge),
 			trace.String("timing", "cpu-summed"))
 		pass.End(trace.Int("queries", res.Queries), trace.Int64("candidates_scored", res.CandidatesScored),
-			trace.Int("tile", tile), trace.Bool("per_query", opts.PerQuery))
+			trace.Int("tile", tile), trace.String("lane", lane), trace.Bool("per_query", opts.PerQuery))
 	}
 	return res
 }
@@ -266,13 +270,25 @@ func (pr *panicRelay) rethrow() {
 	}
 }
 
+// kernelLane names the batch execution lane runBatch will select for m under
+// opts; see StageTimings.KernelLane for the vocabulary.
+func kernelLane(m kgc.Model, opts Options) string {
+	if opts.Precision != store.Int8 {
+		return "dequant"
+	}
+	if !opts.Int8Dequant && kgc.SupportsInt8Native(m) {
+		return "int8-native"
+	}
+	return "int8-dequant"
+}
+
 // runBatch is the relation-grouped executor: workers pull batchTasks and
 // score whole chunks through the model's BatchScorer, reusing their entity
 // and score buffers across tasks. Each worker builds its own scorer: the
 // store-backed scorer carries per-scorer scratch (gathered block, query
 // rows) that is reused across that worker's tasks but is not safe to share
 // between goroutines.
-func runBatch(m kgc.Model, p *plan, opts Options, tile int, progressTotal int, done, scored *atomic.Int64, clock *stageClock, ranks []float64, pass *trace.Span) {
+func runBatch(m kgc.Model, p *plan, opts Options, tile int, lane string, progressTotal int, done, scored *atomic.Int64, clock *stageClock, ranks []float64, pass *trace.Span) {
 	var cancel <-chan struct{}
 	if opts.Ctx != nil {
 		cancel = opts.Ctx.Done()
@@ -290,7 +306,11 @@ func runBatch(m kgc.Model, p *plan, opts Options, tile int, progressTotal int, d
 		go func() {
 			defer wg.Done()
 			defer relay.capture()
-			bs := kgc.NewBatchScorer(m, kgc.BatchOptions{Precision: opts.Precision, Tile: tile})
+			bs := kgc.NewBatchScorer(m, kgc.BatchOptions{
+				Precision:   opts.Precision,
+				Tile:        tile,
+				Int8Dequant: opts.Int8Dequant,
+			})
 			var bufs taskBufs
 			var local int64
 			defer func() { scored.Add(local) }()
@@ -313,7 +333,7 @@ func runBatch(m kgc.Model, p *plan, opts Options, tile int, progressTotal int, d
 				if sample < 0 || (sample > 1 && ti%sample != 0) {
 					chunkSpan = nil
 				}
-				local += runTask(bs, p, p.tasks[ti], opts, tile, progressTotal, done, clock, ranks, &bufs, chunkSpan)
+				local += runTask(bs, p, p.tasks[ti], opts, tile, lane, progressTotal, done, clock, ranks, &bufs, chunkSpan)
 			}
 		}()
 	}
@@ -329,7 +349,7 @@ func runBatch(m kgc.Model, p *plan, opts Options, tile int, progressTotal int, d
 // timestamp per query. When pass is non-nil the task also records itself as
 // one completed "eval.chunk" child span carrying the relation, pool sizes,
 // precision, kernel tile and its stage split.
-func runTask(bs kgc.BatchScorer, p *plan, t batchTask, opts Options, tile int, progressTotal int, done *atomic.Int64, clock *stageClock, ranks []float64, bufs *taskBufs, pass *trace.Span) int64 {
+func runTask(bs kgc.BatchScorer, p *plan, t batchTask, opts Options, tile int, lane string, progressTotal int, done *atomic.Int64, clock *stageClock, ranks []float64, bufs *taskBufs, pass *trace.Span) int64 {
 	g := t.group
 	idx := g.idx[t.lo:t.hi]
 	nq := len(idx)
@@ -346,7 +366,7 @@ func runTask(bs kgc.BatchScorer, p *plan, t batchTask, opts Options, tile int, p
 				trace.Int("relation", int(g.r)), trace.Int("queries", nq),
 				trace.Int("pool_tail", len(g.tailPool)), trace.Int("pool_head", len(g.headPool)),
 				trace.String("precision", opts.Precision.String()), trace.Int("tile", tile),
-				trace.Bool("direct", g.direct),
+				trace.String("lane", lane), trace.Bool("direct", g.direct),
 				trace.Int64("score_ns", scoreNS), trace.Int64("rank_ns", rankNS))
 		}
 	}()

@@ -1,0 +1,98 @@
+package kgc
+
+import "kgeval/internal/kgc/store"
+
+// Int8-native batch kernels: score queries against raw quantized candidate
+// rows (int8 values plus per-BlockDim-block affine scale/zero parameters)
+// without ever materializing the pool as a float64 block.
+//
+// The dequantize-first lane pays for int8's quantization error but keeps
+// float64's memory traffic: Gather expands every candidate value to 8 bytes
+// into a pool-sized scratch block (nc×dim×8 — megabytes for realistic
+// pools), which the kernel then re-reads from L2/L3. The native lane gathers
+// the raw quantized bytes instead (8× less write traffic, 8× smaller
+// scratch) and dequantizes one kernel tile at a time into a small reusable
+// buffer that stays L1-resident while every query streams over it. Each
+// candidate value is still converted exactly once per chunk — the same
+// conversion count as the dequantize lane — but the only float64 candidate
+// state that ever exists is one tile.
+//
+// The tile buffer is filled with the exact arithmetic store.Gather uses
+// (value = zero + scale·(q+128), parameters widened to float64 per block)
+// and then scored by the same scoreDotTile/scoreL1Tile micro-kernels the
+// float64 lane runs, so native scores are bit-identical to the dequantize
+// lane's: same quantization error, same rounding, same ranks. An earlier
+// ADC-style formulation (per-block Σ q_k·x_k with one rescale per block)
+// avoided even the tile-local conversion, but the int8→float64 convert in
+// its inner loop made it ~3× slower than the float64 micro-kernel on
+// compute-bound batch shapes; tile-local dequantization keeps the bandwidth
+// win without touching the hot loop.
+
+// numBlocks returns the per-row quantization block count for dim, mirroring
+// store.(*Store).NBlocks.
+func numBlocks(dim int) int { return (dim + store.BlockDim - 1) / store.BlockDim }
+
+// effectiveTile resolves a caller-supplied tile (0 = autotune default) to
+// the value the kernels will actually use; scratch sizing must match it.
+func effectiveTile(tile int) int {
+	if tile <= 0 {
+		return defaultTile
+	}
+	return tile
+}
+
+// dequantRows expands candidate rows j0..j1 of a gathered quantized block
+// into dst (row-major, local row t ↔ candidate j0+t), reproducing
+// store.Gather's reconstruction bit for bit: per block, the float32
+// scale/zero widen to float64 once and value = zero + scale·(q+128).
+func dequantRows(vals []int8, scale, zero []float32, dim, j0, j1 int, dst []float64) {
+	nb := numBlocks(dim)
+	for j := j0; j < j1; j++ {
+		row := vals[j*dim : (j+1)*dim]
+		d := dst[(j-j0)*dim : (j-j0+1)*dim]
+		for b := 0; b < nb; b++ {
+			lo := b * store.BlockDim
+			hi := lo + store.BlockDim
+			if hi > dim {
+				hi = dim
+			}
+			sc := float64(scale[j*nb+b])
+			z := float64(zero[j*nb+b])
+			for k := lo; k < hi; k++ {
+				d[k] = z + sc*float64(int(row[k])+128)
+			}
+		}
+	}
+}
+
+// scoreDotBatchInt8 computes out[i*nc+j] = dot(qs[i], dequant(cand_j)) over
+// raw int8 candidate rows: each tile is dequantized once into tbuf (at least
+// effectiveTile(tile)×dim values, caller-owned so chunks reuse it) and then
+// scored by the float64 dot micro-kernel. Scores are bit-identical to
+// gathering the pool with store.Gather and calling scoreDotBatch.
+func scoreDotBatchInt8(qs []float64, vals []int8, scale, zero []float32, dim, nc int, out []float64, tile int, tbuf []float64) {
+	tile = effectiveTile(tile)
+	for j0 := 0; j0 < nc; j0 += tile {
+		j1 := j0 + tile
+		if j1 > nc {
+			j1 = nc
+		}
+		dequantRows(vals, scale, zero, dim, j0, j1, tbuf)
+		scoreDotTile(qs, tbuf, dim, j0, j1, nc, out)
+	}
+}
+
+// scoreL1BatchInt8 is scoreDotBatchInt8's L1-distance counterpart (TransE):
+// tile-local dequantization feeding scoreL1Tile, bit-identical to
+// store.Gather + scoreL1Batch.
+func scoreL1BatchInt8(qs []float64, vals []int8, scale, zero []float32, dim, nc int, out []float64, tile int, tbuf []float64) {
+	tile = effectiveTile(tile)
+	for j0 := 0; j0 < nc; j0 += tile {
+		j1 := j0 + tile
+		if j1 > nc {
+			j1 = nc
+		}
+		dequantRows(vals, scale, zero, dim, j0, j1, tbuf)
+		scoreL1Tile(qs, tbuf, dim, j0, j1, nc, out)
+	}
+}

@@ -1,0 +1,184 @@
+package kgc
+
+import (
+	"math/rand"
+	"testing"
+
+	"kgeval/internal/kg"
+	"kgeval/internal/kgc/store"
+)
+
+// gatherRawInt8 builds an Int8 store over data and returns both gather
+// forms: the dequantized float64 block and the raw quantized triplet.
+func gatherRawInt8(t *testing.T, data []float64, nc, dim int) (block []float64, vals []int8, scale, zero []float32) {
+	t.Helper()
+	st, err := store.FromRows(data, nc, dim, store.Int8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]int32, nc)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	nb := st.NBlocks()
+	block = make([]float64, nc*dim)
+	st.Gather(ids, block)
+	vals = make([]int8, nc*dim)
+	scale = make([]float32, nc*nb)
+	zero = make([]float32, nc*nb)
+	st.GatherQuantized(ids, vals, scale, zero)
+	return block, vals, scale, zero
+}
+
+// TestInt8KernelsMatchDequantLane checks the bit-identity contract of the
+// int8-native kernels: over the same quantized rows, scoreDotBatchInt8 and
+// scoreL1BatchInt8 must reproduce exactly what the float64 kernels compute
+// on the store.Gather expansion — including dims not divisible by BlockDim
+// (tail quantization block), candidate counts that exercise the non-unrolled
+// remainder path, and tiles larger than the pool.
+func TestInt8KernelsMatchDequantLane(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, dim := range []int{8, 16, 21, 40, 61, 64} { // 21, 61: tail blocks
+		for _, nc := range []int{1, 3, 17, 64} {
+			for _, tile := range []int{0, 1, 5, 8, 1024} {
+				const nq = 7
+				qs := randVec(rng, nq*dim)
+				block, vals, scale, zero := gatherRawInt8(t, randVec(rng, nc*dim), nc, dim)
+				want := make([]float64, nq*nc)
+				got := make([]float64, nq*nc)
+				tbuf := make([]float64, effectiveTile(tile)*dim)
+
+				scoreDotBatch(qs, block, dim, nc, want, tile)
+				scoreDotBatchInt8(qs, vals, scale, zero, dim, nc, got, tile, tbuf)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("dot dim=%d nc=%d tile=%d: score[%d] native %g, dequant %g",
+							dim, nc, tile, i, got[i], want[i])
+					}
+				}
+
+				scoreL1Batch(qs, block, dim, nc, want, tile)
+				scoreL1BatchInt8(qs, vals, scale, zero, dim, nc, got, tile, tbuf)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("l1 dim=%d nc=%d tile=%d: score[%d] native %g, dequant %g",
+							dim, nc, tile, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSupportsInt8Native pins down which models opt into the native lane:
+// the kernels that stream candidate vectors directly do, the structured ones
+// (RotatE's complex modulus, RESCAL/TuckER/ConvE's transformed queries over
+// specialized pipelines) fall back to the dequantize lane.
+func TestSupportsInt8Native(t *testing.T) {
+	g := trainGraph(t)
+	native := map[string]bool{
+		"TransE": true, "DistMult": true, "ComplEx": true,
+		"RotatE": false, "RESCAL": false, "TuckER": false, "ConvE": false,
+	}
+	for _, m := range allTestModels(t, g, 24, 5) {
+		want, ok := native[m.Name()]
+		if !ok {
+			t.Fatalf("model %s missing from expectation table", m.Name())
+		}
+		if got := SupportsInt8Native(m); got != want {
+			t.Errorf("SupportsInt8Native(%s) = %v, want %v", m.Name(), got, want)
+		}
+	}
+}
+
+// TestInt8NativeScorerMatchesDequantScorer runs the full batch lane both
+// ways — NewBatchScorer at Int8 with and without Int8Dequant — for every
+// opting-in model and asserts bit-identical scores on the batch and
+// per-query entry points, at a dim that is not a multiple of BlockDim.
+func TestInt8NativeScorerMatchesDequantScorer(t *testing.T) {
+	const dim = 28 // 3.5 quantization blocks: tail block in every row
+	g := trainGraph(t)
+	rng := rand.New(rand.NewSource(7))
+	for _, m := range allTestModels(t, g, dim, 11) {
+		if !SupportsInt8Native(m) {
+			continue
+		}
+		t.Run(m.Name(), func(t *testing.T) {
+			tile := TileFor(200, m.Dim(), store.Int8)
+			nat := NewBatchScorer(m, BatchOptions{Precision: store.Int8, Tile: tile})
+			deq := NewBatchScorer(m, BatchOptions{Precision: store.Int8, Tile: tile, Int8Dequant: true})
+
+			cands := make([]int32, 200)
+			for i := range cands {
+				cands[i] = int32(rng.Intn(g.NumEntities))
+			}
+			qs := []int32{3, 99, 123, 47, 149, 3}
+			r := int32(2)
+
+			a := make([]float64, len(qs)*len(cands))
+			b := make([]float64, len(qs)*len(cands))
+			nat.ScoreTailsBatch(qs, r, cands, a)
+			deq.ScoreTailsBatch(qs, r, cands, b)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("tails batch: score[%d] native %g, dequant %g", i, a[i], b[i])
+				}
+			}
+			nat.ScoreHeadsBatch(qs, r, cands, a)
+			deq.ScoreHeadsBatch(qs, r, cands, b)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("heads batch: score[%d] native %g, dequant %g", i, a[i], b[i])
+				}
+			}
+
+			// Per-query entry points route through scoreSingles (streamed
+			// 256-row blocks) at reduced precision on both lanes.
+			a = a[:len(cands)]
+			b = b[:len(cands)]
+			nat.ScoreTails(5, r, cands, a)
+			deq.ScoreTails(5, r, cands, b)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("tails single: score[%d] native %g, dequant %g", i, a[i], b[i])
+				}
+			}
+			if s1, s2 := nat.ScoreTriple(4, r, 77), deq.ScoreTriple(4, r, 77); s1 != s2 {
+				t.Fatalf("triple: native %g, dequant %g", s1, s2)
+			}
+		})
+	}
+}
+
+// TestTileForInt8 sanity-checks the Int8 branch: positive, pool-clamped,
+// and multiple-of-4 (or pool-sized) across the sweep range.
+func TestTileForInt8(t *testing.T) {
+	for _, dim := range []int{8, 32, 64, 128, 256, 512, 1024} {
+		for _, pool := range []int{0, 3, 100, 800, 8000} {
+			tile := TileFor(pool, dim, store.Int8)
+			if tile < 1 {
+				t.Fatalf("TileFor(%d, %d, int8) = %d", pool, dim, tile)
+			}
+			if pool > 0 && tile > pool {
+				t.Fatalf("TileFor(%d, %d, int8) = %d exceeds pool", pool, dim, tile)
+			}
+		}
+	}
+	if f64, i8 := TileFor(800, 256, store.Float64), TileFor(800, 256, store.Int8); f64 == i8 {
+		t.Logf("note: int8 and float64 tiles coincide at dim 256 (%d)", i8)
+	}
+}
+
+// allTestModels instantiates all seven built-in models over g.
+func allTestModels(t *testing.T, g *kg.Graph, dim int, seed int64) []Model {
+	t.Helper()
+	models := make([]Model, 0, len(ModelNames()))
+	for _, name := range ModelNames() {
+		m, err := New(name, g, dim, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		models = append(models, m)
+	}
+	return models
+}

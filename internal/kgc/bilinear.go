@@ -101,6 +101,10 @@ func (m *DistMult) kernel(qs, block []float64, nc int, out []float64, tile int) 
 	scoreDotBatch(qs, block, m.dim, nc, out, tile)
 }
 
+func (m *DistMult) kernelInt8(qs []float64, vals []int8, scale, zero []float32, nc int, out []float64, tile int, tbuf []float64) {
+	scoreDotBatchInt8(qs, vals, scale, zero, m.dim, nc, out, tile, tbuf)
+}
+
 func (m *DistMult) gradStep(h, r, t int32, coeff, lr float64) {
 	hv, rv, tv := m.ent.vec(h), m.rel.vec(r), m.ent.vec(t)
 	gh := make([]float64, m.dim)
@@ -232,6 +236,10 @@ func (m *ComplEx) buildHeadQueries(ts []int32, r int32, qs []float64, _ *scratch
 
 func (m *ComplEx) kernel(qs, block []float64, nc int, out []float64, tile int) {
 	scoreDotBatch(qs, block, m.dim, nc, out, tile)
+}
+
+func (m *ComplEx) kernelInt8(qs []float64, vals []int8, scale, zero []float32, nc int, out []float64, tile int, tbuf []float64) {
+	scoreDotBatchInt8(qs, vals, scale, zero, m.dim, nc, out, tile, tbuf)
 }
 
 func (m *ComplEx) gradStep(h, r, t int32, coeff, lr float64) {

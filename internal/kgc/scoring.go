@@ -17,6 +17,13 @@ type BatchOptions struct {
 	// Tile is the kernel candidate-tile size; 0 uses the built-in default.
 	// TileFor picks a tuned value from the pool/dim shape.
 	Tile int
+	// Int8Dequant forces the dequantize-first execution path at Int8
+	// precision: the pool is expanded to a float64 block before the kernel
+	// runs, even for models with an int8-native kernel. Scores are
+	// bit-identical either way (the native lane runs the same arithmetic
+	// tile-locally); this knob exists as the reference lane for equivalence
+	// tests and paired benchmarks. Ignored at other precisions.
+	Int8Dequant bool
 }
 
 // batchNative is the per-model contract behind the universal batch lane.
@@ -52,6 +59,29 @@ type batchNative interface {
 	singleViaBatch() bool
 }
 
+// int8Kernel is the optional batchNative extension behind the int8-native
+// lane: the model scores queries against raw quantized candidate rows (as
+// gathered by store.GatherQuantized) without the pool ever being expanded to
+// a float64 block. tbuf is caller-owned tile scratch of at least
+// effectiveTile(tile)×Dim values. Implementations must stay bit-identical
+// to kernel() over the store.Gather expansion of the same rows — the
+// evaluation engine treats the two lanes as interchangeable.
+//
+// The dot-family models whose kernel streams candidate vectors directly
+// (TransE, DistMult, ComplEx) implement it; RotatE, RESCAL, TuckER and
+// ConvE stay on the dequantize lane.
+type int8Kernel interface {
+	kernelInt8(qs []float64, vals []int8, scale, zero []float32, nc int, out []float64, tile int, tbuf []float64)
+}
+
+// SupportsInt8Native reports whether m has an int8-native kernel, i.e.
+// whether NewBatchScorer at Int8 precision (without Int8Dequant) will score
+// raw quantized rows instead of dequantizing the pool first.
+func SupportsInt8Native(m Model) bool {
+	_, ok := m.(int8Kernel)
+	return ok
+}
+
 // scratch holds one scorer's reusable buffers. Sizes are high-water marks:
 // buffers grow to the largest chunk seen and are reused verbatim after.
 type scratch struct {
@@ -59,9 +89,16 @@ type scratch struct {
 	qs    []float64 // query vectors, one per chunk query
 	q1    []float64 // single-query buffer for per-query entry points
 	phase []float64 // RotatE inverse phases
-	img   []float64 // ConvE stacked input image
-	feat  []float64 // ConvE flattened conv features, one row per query
-	featT []float64 // ConvE conv features transposed to unit-major
+
+	// int8-native lane: raw quantized candidate rows plus their per-block
+	// parameters, and the tile-sized dequantization buffer.
+	valsI8 []int8
+	cscale []float32
+	czero  []float32
+	tbuf   []float64
+	img    []float64 // ConvE stacked input image
+	feat   []float64 // ConvE flattened conv features, one row per query
+	featT  []float64 // ConvE conv features transposed to unit-major
 
 	// TuckER's relation matrix M_r = W ×₂ r, cached across the calls of a
 	// relation chunk (tails, trues and heads all share it).
@@ -74,6 +111,20 @@ type scratch struct {
 func growF64(buf []float64, n int) []float64 {
 	if cap(buf) < n {
 		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+func growI8(buf []int8, n int) []int8 {
+	if cap(buf) < n {
+		return make([]int8, n)
+	}
+	return buf[:n]
+}
+
+func growF32(buf []float32, n int) []float32 {
+	if cap(buf) < n {
+		return make([]float32, n)
 	}
 	return buf[:n]
 }
@@ -148,13 +199,17 @@ func IsNativeBatch(m Model) bool {
 // creation is cheap after the first.
 func NewBatchScorer(m Model, opts BatchOptions) BatchScorer {
 	if bn, ok := m.(batchNative); ok {
-		return &storeScorer{
+		s := &storeScorer{
 			m:    bn,
 			st:   bn.entityStores().get(bn.entityTable(), opts.Precision),
 			bias: bn.entityBias(),
 			prec: opts.Precision,
 			tile: opts.Tile,
 		}
+		if opts.Precision == store.Int8 && !opts.Int8Dequant {
+			s.i8k, _ = m.(int8Kernel)
+		}
+		return s
 	}
 	if bs, ok := m.(BatchScorer); ok {
 		return bs
@@ -173,6 +228,7 @@ type storeScorer struct {
 	bias *table
 	prec store.Precision
 	tile int
+	i8k  int8Kernel // non-nil: score raw quantized rows (int8-native lane)
 	sc   scratch
 
 	oneID [1]int32 // single-query/candidate id buffers for the routed paths
@@ -200,13 +256,20 @@ func (s *storeScorer) ScoreHeadsBatch(ts []int32, r int32, cands []int32, out []
 }
 
 // scoreBlock gathers cands once and runs the kernel for every query in qs,
-// then adds the per-entity bias when the model has one.
+// then adds the per-entity bias when the model has one. On the int8-native
+// lane the gather stays quantized — 1 byte per value plus block parameters —
+// and the kernel dequantizes tile-locally.
 func (s *storeScorer) scoreBlock(qs []float64, cands []int32, out []float64) {
 	dim := s.m.Dim()
 	nc := len(cands)
-	s.sc.block = growF64(s.sc.block, nc*dim)
-	s.st.Gather(cands, s.sc.block)
-	s.m.kernel(qs, s.sc.block, nc, out, s.tile)
+	if s.i8k != nil {
+		s.gatherQuantized(cands)
+		s.i8k.kernelInt8(qs, s.sc.valsI8, s.sc.cscale, s.sc.czero, nc, out, s.tile, s.sc.tbuf)
+	} else {
+		s.sc.block = growF64(s.sc.block, nc*dim)
+		s.st.Gather(cands, s.sc.block)
+		s.m.kernel(qs, s.sc.block, nc, out, s.tile)
+	}
 	if s.bias != nil {
 		nq := len(qs) / dim
 		for i := 0; i < nq; i++ {
@@ -262,6 +325,18 @@ func (s *storeScorer) ScoreHeads(r, t int32, cands []int32, out []float64) {
 	s.scoreSingles(s.sc.q1, cands, out)
 }
 
+// gatherQuantized sizes the int8-lane scratch for len(cands) rows and fills
+// it from the store.
+func (s *storeScorer) gatherQuantized(cands []int32) {
+	dim, nb := s.m.Dim(), s.st.NBlocks()
+	nc := len(cands)
+	s.sc.valsI8 = growI8(s.sc.valsI8, nc*dim)
+	s.sc.cscale = growF32(s.sc.cscale, nc*nb)
+	s.sc.czero = growF32(s.sc.czero, nc*nb)
+	s.sc.tbuf = growF64(s.sc.tbuf, effectiveTile(s.tile)*dim)
+	s.st.GatherQuantized(cands, s.sc.valsI8, s.sc.cscale, s.sc.czero)
+}
+
 // scoreSingles scores one query against cands, streaming the pool through a
 // bounded gather block so direct (per-query) relation groups don't inflate
 // the scratch to the full entity table.
@@ -273,15 +348,22 @@ func (s *storeScorer) scoreSingles(q []float64, cands []int32, out []float64) {
 	if n < rows {
 		rows = n
 	}
-	s.sc.block = growF64(s.sc.block, rows*dim)
+	if s.i8k == nil {
+		s.sc.block = growF64(s.sc.block, rows*dim)
+	}
 	for lo := 0; lo < n; lo += blockRows {
 		hi := lo + blockRows
 		if hi > n {
 			hi = n
 		}
 		part := cands[lo:hi]
-		s.st.Gather(part, s.sc.block)
-		s.m.kernel(q, s.sc.block[:len(part)*dim], len(part), out[lo:hi], s.tile)
+		if s.i8k != nil {
+			s.gatherQuantized(part)
+			s.i8k.kernelInt8(q, s.sc.valsI8, s.sc.cscale, s.sc.czero, len(part), out[lo:hi], s.tile, s.sc.tbuf)
+		} else {
+			s.st.Gather(part, s.sc.block)
+			s.m.kernel(q, s.sc.block[:len(part)*dim], len(part), out[lo:hi], s.tile)
+		}
 		if s.bias != nil {
 			for j, c := range part {
 				out[lo+j] += s.bias.vec(c)[0]

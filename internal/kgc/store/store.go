@@ -92,6 +92,12 @@ type Store struct {
 // nblocks returns the per-row quantization block count.
 func (s *Store) nblocks() int { return (s.dim + BlockDim - 1) / BlockDim }
 
+// NBlocks returns the number of BlockDim-dimension quantization blocks per
+// row: ⌈Dim/BlockDim⌉. It sizes the scale/zero buffers for GatherQuantized
+// and is meaningful for any precision (Int8 is the only one that stores
+// per-block parameters, but callers size kernel scratch uniformly).
+func (s *Store) NBlocks() int { return s.nblocks() }
+
 // FromRows builds a store over a rows×dim row-major matrix. Float64 aliases
 // data (zero copy — the store is a view of the caller's weights); Float32
 // and Int8 snapshot a converted copy.
@@ -205,6 +211,30 @@ func (s *Store) Gather(ids []int32, dst []float64) {
 	_ = dst[:len(ids)*d]
 	for j, id := range ids {
 		s.gatherRow(int(id), dst[j*d:(j+1)*d])
+	}
+}
+
+// GatherQuantized gathers the raw quantized rows of ids — int8 values plus
+// the per-block affine parameters — without dequantizing, as three
+// contiguous len(ids)-major blocks: vals holds len(ids)×Dim int8 values,
+// scale and zero hold len(ids)×NBlocks float32 parameters, with
+// value ≈ zero + scale·(q+128). This is the int8-native kernels' pool
+// gather: it moves 1 byte per value (plus 8 bytes per BlockDim-dim block)
+// where Gather writes 8, leaving the rescale to the kernel's per-block
+// epilogue. Panics unless the store's precision is Int8.
+func (s *Store) GatherQuantized(ids []int32, vals []int8, scale, zero []float32) {
+	if s.prec != Int8 {
+		panic("store: GatherQuantized on a " + s.prec.String() + " store")
+	}
+	d, nb := s.dim, s.nblocks()
+	_ = vals[:len(ids)*d]
+	_ = scale[:len(ids)*nb]
+	_ = zero[:len(ids)*nb]
+	for j, id := range ids {
+		r := int(id)
+		copy(vals[j*d:(j+1)*d], s.i8[r*d:(r+1)*d])
+		copy(scale[j*nb:(j+1)*nb], s.scale[r*nb:(r+1)*nb])
+		copy(zero[j*nb:(j+1)*nb], s.zero[r*nb:(r+1)*nb])
 	}
 }
 

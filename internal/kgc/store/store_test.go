@@ -247,6 +247,53 @@ func TestMmapSharedReaders(t *testing.T) {
 	}
 }
 
+// TestGatherQuantizedMatchesGather checks that dequantizing the raw blocks
+// GatherQuantized returns — value = zero + scale·(q+128) — reproduces
+// exactly what Gather writes, including on a tail block (dim % BlockDim != 0)
+// and with repeated ids.
+func TestGatherQuantizedMatchesGather(t *testing.T) {
+	const rows, dim = 30, 21 // tail block of 5 dims
+	data := randRows(rows, dim, 9)
+	s, err := FromRows(data, rows, dim, Int8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb := s.NBlocks()
+	if want := (dim + BlockDim - 1) / BlockDim; nb != want {
+		t.Fatalf("NBlocks = %d, want %d", nb, want)
+	}
+	ids := []int32{5, 0, 29, 5, 17}
+	vals := make([]int8, len(ids)*dim)
+	scale := make([]float32, len(ids)*nb)
+	zero := make([]float32, len(ids)*nb)
+	s.GatherQuantized(ids, vals, scale, zero)
+
+	ref := make([]float64, len(ids)*dim)
+	s.Gather(ids, ref)
+	for j := range ids {
+		for k := 0; k < dim; k++ {
+			b := k / BlockDim
+			got := float64(zero[j*nb+b]) + float64(scale[j*nb+b])*float64(int(vals[j*dim+k])+128)
+			if got != ref[j*dim+k] {
+				t.Fatalf("row %d dim %d: dequantized %g, Gather %g", j, k, got, ref[j*dim+k])
+			}
+		}
+	}
+}
+
+func TestGatherQuantizedPanicsOnFloatStore(t *testing.T) {
+	s, err := FromRows(randRows(4, 8, 10), 4, 8, Float32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GatherQuantized on a float32 store should panic")
+		}
+	}()
+	s.GatherQuantized([]int32{0}, make([]int8, 8), make([]float32, 1), make([]float32, 1))
+}
+
 func TestBytesFootprint(t *testing.T) {
 	const rows, dim = 100, 64
 	data := randRows(rows, dim, 8)

@@ -17,16 +17,23 @@ import "kgeval/internal/kgc/store"
 // ~32 KB of block rows spill L1 and regress wide dims. Out-of-table dims
 // fall back to sizing the tile to that 32 KB budget, clamped to [4, 64] and
 // rounded to a multiple of 4 to keep the unrolled fast path busy.
-// Precision selects the same entries today — the kernels always stream a
-// dequantized float64 block, so the resident set is precision-independent —
-// but it is part of the key so an int8-native kernel can retune without an
-// API change.
+// Float32 shares Float64's entries (both stream a dequantized float64
+// block, so the resident set is identical); Int8 has its own table,
+// maintained by BenchmarkScoreDotBatchTileInt8: the native kernel's tile
+// buffer is float64 like the dequantize lane's block rows, but the tile
+// sweep also re-reads the raw int8 rows and their block parameters, which
+// shifts the measured optimum mildly upward at mid dims.
 func TileFor(pool, dim int, prec store.Precision) int {
-	_ = prec
 	var tile int
 	switch {
 	case dim <= 0:
 		return defaultTile
+	case prec == store.Int8 && dim <= 48:
+		tile = 16
+	case prec == store.Int8 && dim <= 160:
+		tile = 24
+	case prec == store.Int8 && dim <= 320:
+		tile = 8
 	case dim <= 48:
 		tile = 48
 	case dim <= 96:

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+
+	"kgeval/internal/kgc/store"
 )
 
 // BenchmarkScoreDotBatchTile sweeps the kernel tile across embedding widths
@@ -34,4 +36,78 @@ func randVec(rng *rand.Rand, n int) []float64 {
 		v[i] = rng.NormFloat64()
 	}
 	return v
+}
+
+// BenchmarkScoreDotBatchTileInt8 is the int8-native twin of the sweep above,
+// maintaining the Int8 branch of TileFor's table. The native kernel's
+// float64 working set is one tile (tbuf), so its tile regime matches the
+// float64 sweep; re-run after kernel changes and move the table entries to
+// the fastest tile per dim.
+func BenchmarkScoreDotBatchTileInt8(b *testing.B) {
+	const nq, nc = 64, 800
+	rng := rand.New(rand.NewSource(11))
+	for _, dim := range []int{32, 64, 128, 256, 512} {
+		qs := randVec(rng, nq*dim)
+		nb := numBlocks(dim)
+		st, err := store.FromRows(randVec(rng, nc*dim), nc, dim, store.Int8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids := make([]int32, nc)
+		for i := range ids {
+			ids[i] = int32(i)
+		}
+		vals := make([]int8, nc*dim)
+		scale := make([]float32, nc*nb)
+		zero := make([]float32, nc*nb)
+		st.GatherQuantized(ids, vals, scale, zero)
+		out := make([]float64, nq*nc)
+		for _, tile := range []int{4, 8, 16, 24, 32, 48, 64} {
+			tbuf := make([]float64, tile*dim)
+			b.Run(fmt.Sprintf("dim%d/tile%d", dim, tile), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					scoreDotBatchInt8(qs, vals, scale, zero, dim, nc, out, tile, tbuf)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkInt8Lane pits the two int8 chunk pipelines against each other at
+// the batch lane's level — gather plus kernel, the work scoreBlock does per
+// chunk — isolating the native lane's bandwidth win from eval overheads.
+func BenchmarkInt8Lane(b *testing.B) {
+	const nq, nc, rows = 64, 800, 8000
+	rng := rand.New(rand.NewSource(11))
+	for _, dim := range []int{128, 256, 512} {
+		qs := randVec(rng, nq*dim)
+		st, err := store.FromRows(randVec(rng, rows*dim), rows, dim, store.Int8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids := make([]int32, nc)
+		for i := range ids {
+			ids[i] = int32(rng.Intn(rows))
+		}
+		out := make([]float64, nq*nc)
+		tile := TileFor(nc, dim, store.Int8)
+		b.Run(fmt.Sprintf("dequant/dim%d", dim), func(b *testing.B) {
+			block := make([]float64, nc*dim)
+			for i := 0; i < b.N; i++ {
+				st.Gather(ids, block)
+				scoreDotBatch(qs, block, dim, nc, out, tile)
+			}
+		})
+		b.Run(fmt.Sprintf("native/dim%d", dim), func(b *testing.B) {
+			nb := numBlocks(dim)
+			vals := make([]int8, nc*dim)
+			scale := make([]float32, nc*nb)
+			zero := make([]float32, nc*nb)
+			tbuf := make([]float64, effectiveTile(tile)*dim)
+			for i := 0; i < b.N; i++ {
+				st.GatherQuantized(ids, vals, scale, zero)
+				scoreDotBatchInt8(qs, vals, scale, zero, dim, nc, out, tile, tbuf)
+			}
+		})
+	}
 }

@@ -111,6 +111,10 @@ func (m *TransE) kernel(qs, block []float64, nc int, out []float64, tile int) {
 	scoreL1Batch(qs, block, m.dim, nc, out, tile)
 }
 
+func (m *TransE) kernelInt8(qs []float64, vals []int8, scale, zero []float32, nc int, out []float64, tile int, tbuf []float64) {
+	scoreL1BatchInt8(qs, vals, scale, zero, m.dim, nc, out, tile, tbuf)
+}
+
 // gradStep: d(−‖h+r−t‖₁)/dh_i = −sign(h_i+r_i−t_i), etc.
 func (m *TransE) gradStep(h, r, t int32, coeff, lr float64) {
 	hv, rv, tv := m.ent.vec(h), m.rel.vec(r), m.ent.vec(t)

@@ -25,7 +25,10 @@ package trace
 
 import (
 	"context"
+	cryptorand "crypto/rand"
+	"encoding/binary"
 	"encoding/hex"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -53,23 +56,50 @@ func (s SpanID) String() string {
 }
 
 // idState drives ID generation: a splitmix64 sequence over an atomic
-// counter, seeded once from the wall clock. Lock-free and fast enough for
-// per-chunk span creation; IDs are unique within a process, which is all
-// the in-memory store requires.
+// counter. Lock-free and fast enough for per-chunk span creation; IDs are
+// unique within a process, which is all the in-memory store requires —
+// but exemplar trace IDs also leave the process (metrics exemplars, log
+// lines, cross-service correlation), so the seed must differ between
+// processes too. Seeding from the wall clock alone does not guarantee
+// that: replicas started by the same supervisor can observe the same
+// UnixNano (coarse clocks, VM snapshot restores, containers booting in
+// lockstep), and two splitmix64 streams from equal seeds are identical
+// forever. idSeed therefore folds in the PID and, when available, true
+// randomness from the OS.
 var idState atomic.Uint64
 
 func init() {
-	idState.Store(uint64(time.Now().UnixNano()))
+	idState.Store(idSeed(time.Now().UnixNano()))
 }
 
-// randU64 returns the next pseudo-random 64-bit value (splitmix64).
-func randU64() uint64 {
-	x := idState.Add(0x9e3779b97f4a7c15)
+// idSeed derives the ID-stream seed for a process observing the given
+// wall-clock reading. Entropy sources are mixed through splitmix64 stages
+// (via mix64) rather than XORed raw, so two processes whose sources differ
+// in only a few bits still start statistically unrelated streams. If the
+// OS entropy read fails (it practically cannot), the PID and clock alone
+// still separate concurrently running processes.
+func idSeed(wallNS int64) uint64 {
+	seed := mix64(uint64(wallNS))
+	seed = mix64(seed ^ uint64(os.Getpid()))
+	var buf [8]byte
+	if _, err := cryptorand.Read(buf[:]); err == nil {
+		seed = mix64(seed ^ binary.LittleEndian.Uint64(buf[:]))
+	}
+	return seed
+}
+
+// mix64 is the splitmix64 finalizer: a bijective avalanche over 64 bits.
+func mix64(x uint64) uint64 {
 	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9
 	x ^= x >> 27
 	x *= 0x94d049bb133111eb
 	return x ^ (x >> 31)
+}
+
+// randU64 returns the next pseudo-random 64-bit value (splitmix64).
+func randU64() uint64 {
+	return mix64(idState.Add(0x9e3779b97f4a7c15))
 }
 
 func newTraceID() TraceID {

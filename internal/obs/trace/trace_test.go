@@ -276,6 +276,41 @@ func TestChromeExport(t *testing.T) {
 	}
 }
 
+// TestIDSeedDivergesOnEqualClocks regresses the cross-process ID collision
+// bug: two processes whose init-time UnixNano readings coincide (coarse
+// clocks, VM snapshot restores, replicas booting in lockstep) used to seed
+// identical splitmix64 streams and then emit identical trace/span IDs for
+// the lifetime of both processes. idSeed must separate such processes via
+// its non-clock entropy, and the resulting streams must stay disjoint.
+func TestIDSeedDivergesOnEqualClocks(t *testing.T) {
+	const wallNS int64 = 1700000000_000000000 // both "processes" read this clock
+	seedA := idSeed(wallNS)
+	seedB := idSeed(wallNS)
+	if seedA == seedB {
+		// Same PID here, so divergence can only come from crypto/rand —
+		// which is exactly what distinguishes restored VM twins too.
+		t.Fatalf("idSeed produced identical seeds %#x for identical clock readings", seedA)
+	}
+
+	// Walk both ID streams the way randU64 does and require full disjoint-
+	// ness: equal-seed streams would collide on every single draw, so any
+	// overlap at all means the seeds failed to decorrelate the sequences.
+	const draws = 1 << 14
+	next := func(state *uint64) uint64 {
+		*state += 0x9e3779b97f4a7c15
+		return mix64(*state)
+	}
+	seen := make(map[uint64]bool, draws)
+	for i := 0; i < draws; i++ {
+		seen[next(&seedA)] = true
+	}
+	for i := 0; i < draws; i++ {
+		if v := next(&seedB); seen[v] {
+			t.Fatalf("ID streams from equal clock readings collide on %#x at draw %d", v, i)
+		}
+	}
+}
+
 func TestIDUniqueness(t *testing.T) {
 	seen := map[string]bool{}
 	for i := 0; i < 10000; i++ {

@@ -15,6 +15,23 @@ type completionWindow struct {
 	mu   sync.Mutex
 	ring [32]time.Time
 	n    int // total notes, ring holds the last min(n, len) of them
+
+	// now is the clock used for the staleness check; nil means time.Now.
+	// Injected by tests so a stale window can be simulated without sleeping.
+	now func() time.Time
+}
+
+// completionStaleness bounds how old the window's newest completion may be
+// before rate() stops trusting it. A burst of completions followed by a
+// quiet hour describes a drain rate the engine no longer has; extrapolating
+// it would tell rejected clients to retry into a queue that isn't moving.
+const completionStaleness = 5 * time.Minute
+
+func (w *completionWindow) clock() time.Time {
+	if w.now != nil {
+		return w.now()
+	}
+	return time.Now()
 }
 
 // note records one terminal transition. Nil-safe (jobs created outside an
@@ -30,7 +47,9 @@ func (w *completionWindow) note(t time.Time) {
 }
 
 // rate returns recent completions per second, or 0 when there is not
-// enough history (fewer than two completions, or a stale window).
+// enough history (fewer than two completions) or the window is stale (its
+// newest completion is older than completionStaleness, so the measured
+// drain rate no longer describes the engine).
 func (w *completionWindow) rate() float64 {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -42,6 +61,9 @@ func (w *completionWindow) rate() float64 {
 		return 0
 	}
 	newest := w.ring[(w.n-1)%len(w.ring)]
+	if w.clock().Sub(newest) > completionStaleness {
+		return 0
+	}
 	oldest := w.ring[(w.n-k)%len(w.ring)]
 	span := newest.Sub(oldest)
 	if span <= 0 {
@@ -55,8 +77,8 @@ func (w *completionWindow) rate() float64 {
 const (
 	minRetryAfter = time.Second
 	maxRetryAfter = 2 * time.Minute
-	// defaultRetryAfter is used before any job has completed (no drain-rate
-	// history yet).
+	// defaultRetryAfter is used when the drain rate is unknown: before any
+	// job has completed, or after the completion window has gone stale.
 	defaultRetryAfter = 5 * time.Second
 )
 
@@ -93,12 +115,35 @@ func (e *MemoryBudgetError) Error() string {
 		e.EstimatedBytes>>20, e.BudgetBytes>>20)
 }
 
+// modelWeightBytes approximates the float64 weight tables one model of the
+// given architecture pins at the given dim. The flat-embedding models hold
+// a dim-vector per entity and relation, but the structured architectures
+// are dominated by very different terms: RESCAL keeps a full d×d matrix
+// per relation, TuckER a shared d³ core tensor, and ConvE reciprocal
+// relation rows plus a flat·d fully-connected projection (flat = 8·d for
+// its fixed 4-channel 2d reshape). Modeling them all as (|E|+|R|)·d used
+// to under-estimate RESCAL/TuckER by orders of magnitude at service dims —
+// a TuckER at dim 512 holds a 1 GiB core that the gate waved through.
+func modelWeightBytes(name string, ents, rels, dim int64) int64 {
+	switch name {
+	case "RESCAL":
+		return (ents*dim + rels*dim*dim) * 8
+	case "TuckER":
+		return ((ents+rels)*dim + dim*dim*dim) * 8
+	case "ConvE":
+		return (ents*(dim+1) + 2*rels*dim + 8*dim*dim) * 8
+	default: // TransE, DistMult, ComplEx, RotatE: flat embedding vectors
+		return (ents + rels) * dim * 8
+	}
+}
+
 // estimateJobBytes approximates the working set a job pins while running:
-// per model, the float64 weight tables ((|E| + |R|)·dim) plus the entity
-// store gathered at the scoring precision (|E|·dim·bytes), plus the
-// snapshot bytes held during model reconstruction. A coarse upper-ish
-// bound — the gate exists to refuse obviously-over-budget work before it
-// OOMs the process, not to do exact accounting.
+// per model, its architecture-aware float64 weight tables
+// (modelWeightBytes) plus the entity store gathered at the scoring
+// precision (|E|·dim·bytes), plus the snapshot bytes held during model
+// reconstruction. A coarse upper-ish bound — the gate exists to refuse
+// obviously-over-budget work before it OOMs the process, not to do exact
+// accounting.
 func (e *Engine) estimateJobBytes(spec JobSpec, prec store.Precision) int64 {
 	specs := spec.Models
 	if len(specs) == 0 {
@@ -116,7 +161,7 @@ func (e *Engine) estimateJobBytes(spec JobSpec, prec store.Precision) int64 {
 	rels := int64(e.graph.NumRelations)
 	for _, ms := range specs {
 		dim := int64(ms.Dim)
-		total += (ents+rels)*dim*8 + ents*dim*precBytes + int64(len(ms.Snapshot))
+		total += modelWeightBytes(ms.Name, ents, rels, dim) + ents*dim*precBytes + int64(len(ms.Snapshot))
 	}
 	return total
 }

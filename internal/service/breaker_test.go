@@ -94,11 +94,13 @@ func TestFitBreakerKeysAreIndependent(t *testing.T) {
 }
 
 func TestCompletionWindowRate(t *testing.T) {
-	w := &completionWindow{}
+	base := time.Unix(2000, 0)
+	// Pin the staleness clock just past the synthetic timestamps so the
+	// test exercises the rate math, not the staleness horizon.
+	w := &completionWindow{now: func() time.Time { return base.Add(time.Second) }}
 	if r := w.rate(); r != 0 {
 		t.Fatalf("empty window rate = %v", r)
 	}
-	base := time.Unix(2000, 0)
 	w.note(base)
 	if r := w.rate(); r != 0 {
 		t.Fatalf("single-completion rate = %v", r)
@@ -126,8 +128,10 @@ func TestEngineRetryAfterBounds(t *testing.T) {
 	if d := e.RetryAfter(); d != defaultRetryAfter {
 		t.Fatalf("RetryAfter with no history = %s, want %s", d, defaultRetryAfter)
 	}
-	// Fast drain: clamped up to the minimum.
+	// Fast drain: clamped up to the minimum. The synthetic timestamps need
+	// a matching clock or the staleness horizon would discard them.
 	base := time.Unix(3000, 0)
+	e.completions.now = func() time.Time { return base.Add(time.Millisecond) }
 	for i := 0; i < 32; i++ {
 		e.completions.note(base.Add(time.Duration(i) * time.Microsecond))
 	}
@@ -135,7 +139,7 @@ func TestEngineRetryAfterBounds(t *testing.T) {
 		t.Fatalf("RetryAfter under fast drain = %s, want clamped %s", d, minRetryAfter)
 	}
 	// Glacial drain: clamped down to the maximum.
-	e.completions = &completionWindow{}
+	e.completions = &completionWindow{now: func() time.Time { return base.Add(time.Hour) }}
 	e.completions.note(base)
 	e.completions.note(base.Add(time.Hour))
 	if d := e.RetryAfter(); d != maxRetryAfter {
